@@ -1,0 +1,46 @@
+"""Figure 10 — Diff-Index update performance on a 5× (virtualised) cluster.
+
+Paper findings on RC2 (42 VMs, 200M rows = 5× servers and 5× data on
+weaker, virtualised machines):
+  1) the 5× cluster reaches LESS than 5× the throughput (sub-linear);
+  2) latencies at 5× TPS are a couple of times larger than at 1× TPS
+     on the small cluster;
+  3) the relative ordering of the schemes is preserved.
+"""
+
+import pytest
+
+from repro.bench import figure10_scaleout, format_series
+
+
+@pytest.mark.paper("Figure 10")
+def test_figure10_scaleout(benchmark):
+    small, big = benchmark.pedantic(figure10_scaleout, rounds=1, iterations=1)
+    print()
+    print(format_series(small))
+    print()
+    print(format_series(big))
+
+    def max_tps(series, label):
+        return max(x for x, _y in series.curve(label))
+
+    def min_latency(series, label):
+        return series.curve(label)[0][1]
+
+    # (1) sub-linear scale-out for the synchronous schemes (async's
+    # foreground rate reflects AUQ absorption, not sustained capacity, so
+    # only its ordering is asserted below — see EXPERIMENTS.md).
+    for label in ("insert", "full", "null"):
+        speedup = max_tps(big, label) / max_tps(small, label)
+        print(f"  {label}: scale-out speedup {speedup:.2f}x (linear would be ~5x)")
+        assert speedup < 5.0
+        # still scales out meaningfully.
+        assert speedup > 1.5
+    for label in ("insert", "full", "async"):
+        # (2) latency on the virtualised cluster is higher at comparable
+        # per-server load.
+        assert min_latency(big, label) > min_latency(small, label)
+
+    # (3) scheme ordering preserved on the big cluster.
+    assert min_latency(big, "insert") < min_latency(big, "full")
+    assert min_latency(big, "async") < min_latency(big, "full")

@@ -1,0 +1,36 @@
+"""Figure 11 — time-lag between data and index (async-simple).
+
+Paper shape: at modest load most index entries are updated within
+~100 ms; near saturation the AUQ backlog grows and the lag explodes to
+orders of magnitude more (the paper saw hundreds of seconds at
+4000 TPS).
+"""
+
+import pytest
+
+from repro.bench import figure11_staleness, format_table
+
+
+@pytest.mark.paper("Figure 11")
+def test_figure11_staleness(benchmark):
+    results = benchmark.pedantic(figure11_staleness, rounds=1, iterations=1)
+    rows = []
+    for rate, percentiles, frac_100ms in results:
+        rows.append([f"{rate:.0f}",
+                     f"{percentiles[50]:.1f}", f"{percentiles[90]:.1f}",
+                     f"{percentiles[99]:.1f}", f"{percentiles[100]:.1f}",
+                     f"{frac_100ms:.0%}"])
+    print()
+    print(format_table(
+        ["target TPS", "p50 lag (ms)", "p90", "p99", "max", "<=100ms"],
+        rows, title="Figure 11 — index staleness (T2 - T1) vs load"))
+
+    modest = results[0]
+    saturated = results[-1]
+    # Modest load: the bulk of entries update quickly.
+    assert modest[2] >= 0.9                       # >=90% within 100 ms
+    # Near saturation the median lag grows by orders of magnitude.
+    assert saturated[1][50] > 20 * max(modest[1][50], 0.5)
+    # Monotone-ish growth of the tail with load.
+    p99s = [r[1][99] for r in results]
+    assert p99s[-1] > p99s[0]

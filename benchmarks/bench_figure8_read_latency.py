@@ -1,0 +1,27 @@
+"""Figure 8 — read performance (exact-match getByIndex).
+
+Paper shape: sync-full has very low read latency (it only touches the
+small, cached index table); sync-insert is much higher (each result
+triggers a base-table double-check read); async reads like sync-full but
+without a consistency guarantee.
+"""
+
+import pytest
+
+from repro.bench import figure8_read_latency, format_series
+
+
+@pytest.mark.paper("Figure 8")
+def test_figure8_read_latency(benchmark):
+    series = benchmark.pedantic(figure8_read_latency, rounds=1, iterations=1)
+    print()
+    print(format_series(series))
+
+    full0 = series.curve("full")[0][1]
+    insert0 = series.curve("insert")[0][1]
+    async0 = series.curve("async")[0][1]
+
+    # sync-insert read is much slower: the double-check adds base reads.
+    assert insert0 > 2.0 * full0
+    # async read latency is close to sync-full (same read path).
+    assert async0 < 2.0 * full0

@@ -1,0 +1,31 @@
+"""Figure 9 — range query latency vs selectivity (index item_price).
+
+Paper shape: with 10 concurrent client threads and selectivity swept
+from very selective to broad, sync-insert's latency grows much faster
+than sync-full's, because each of the K returned rows costs a base-table
+double-check read.
+"""
+
+import pytest
+
+from repro.bench import figure9_range_selectivity, format_series
+
+
+@pytest.mark.paper("Figure 9")
+def test_figure9_range_selectivity(benchmark):
+    series = benchmark.pedantic(figure9_range_selectivity, rounds=1,
+                                iterations=1)
+    print()
+    print(format_series(series))
+
+    insert_curve = series.curve("insert")
+    full_curve = series.curve("full")
+
+    # Latency grows with result size for both...
+    assert insert_curve[-1][1] > insert_curve[0][1]
+    # ...but sync-insert grows much faster (K base reads per query):
+    insert_growth = insert_curve[-1][1] / max(insert_curve[0][1], 1e-9)
+    full_growth = full_curve[-1][1] / max(full_curve[0][1], 1e-9)
+    assert insert_growth > 2.0 * full_growth
+    # and at the broadest range sync-insert is several times slower.
+    assert insert_curve[-1][1] > 3.0 * full_curve[-1][1]

@@ -1,0 +1,120 @@
+"""Extension bench — global vs local index (§3.1), measured.
+
+The paper's argument for choosing global indexes: "The advantage of a
+global index is in the handling of highly selective queries ... Its
+drawback is that the update of a global index incurs remote calls ...
+a local index has the advantage of faster update because of its
+collocation; its drawback is that every query has to be broadcast to
+each region."
+
+This bench measures both directions of the trade-off and shows the query
+gap widening with cluster size — the scaling argument that makes global
+the right default for selective queries on big data."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, IndexScope, MiniCluster
+from repro.bench import format_table
+from repro.sim.random import RandomStream
+from repro.ycsb import ItemSchema, load_direct
+
+
+def build(num_servers, scope, record_count=1200):
+    schema = ItemSchema(record_count=record_count, title_cardinality=0)
+    cluster = MiniCluster(num_servers=num_servers, seed=28).start()
+    cluster.create_table("item",
+                         split_keys=schema.split_keys(num_servers * 2))
+    load_direct(cluster, schema, "item")
+    if scope is IndexScope.LOCAL:
+        cluster.create_index(IndexDescriptor(
+            "item_title", "item", ("item_title",),
+            scheme=IndexScheme.SYNC_FULL, scope=IndexScope.LOCAL))
+    else:
+        cluster.create_index(IndexDescriptor(
+            "item_title", "item", ("item_title",),
+            scheme=IndexScheme.SYNC_FULL),
+            split_keys=schema.title_split_keys(num_servers))
+    return cluster, schema
+
+
+def measure(num_servers, scope, ops=120):
+    """Three measurements per configuration:
+
+    * mean update latency (local should win: no remote index call);
+    * RPCs issued per selective query (local = one per server: broadcast);
+    * selective-query THROUGHPUT under concurrency — the broadcast's real
+      price.  At idle, a parallel fan-out hides its cost in latency, but
+      every local query occupies every server, so queries-per-second
+      collapses relative to the routed global lookup.
+    """
+    from repro.ycsb import ClosedLoopDriver, CoreWorkload, OpType
+
+    cluster, schema = build(num_servers, scope)
+    client = cluster.new_client()
+    rng = RandomStream(9)
+    update_ms = []
+
+    def updates():
+        for _ in range(ops):
+            row = schema.rowkey(rng.randint(0, schema.record_count - 1))
+            start = cluster.sim.now()
+            yield from client.put("item", row,
+                                  {"item_title": schema.title_for(
+                                      rng.randint(0, schema.record_count - 1))})
+            update_ms.append(cluster.sim.now() - start)
+
+    cluster.run(updates(), name="updates")
+    cluster.quiesce()
+
+    rpc_before = cluster.network.rpc_count
+    cluster.run(client.get_by_index(
+        "item_title", equals=[schema.title_for(7)]))
+    rpcs_per_query = cluster.network.rpc_count - rpc_before
+
+    workload = CoreWorkload(schema, proportions={OpType.INDEX_READ: 1.0})
+    driver = ClosedLoopDriver(cluster, workload, "item",
+                              num_threads=12 * num_servers)
+    result = driver.run(duration_ms=800.0, warmup_ms=200.0)
+    qps = result.stats(OpType.INDEX_READ).throughput_tps
+
+    return (sum(update_ms) / len(update_ms), rpcs_per_query, qps)
+
+
+def measure_all():
+    out = {}
+    for num_servers in (3, 9):
+        for scope in (IndexScope.GLOBAL, IndexScope.LOCAL):
+            out[(num_servers, scope)] = measure(num_servers, scope)
+    return out
+
+
+@pytest.mark.paper("§3.1 global vs local index (extension)")
+def test_global_vs_local_tradeoff(benchmark):
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    rows = [[f"{servers} servers", scope.value, f"{update:.2f}",
+             rpcs, f"{qps:.0f}"]
+            for (servers, scope), (update, rpcs, qps) in results.items()]
+    print()
+    print(format_table(
+        ["cluster", "index scope", "update mean (ms)", "RPCs/query",
+         "query throughput (qps)"],
+        rows, title="Global vs local secondary index"))
+
+    for servers in (3, 9):
+        g_update, g_rpcs, g_qps = results[(servers, IndexScope.GLOBAL)]
+        l_update, l_rpcs, l_qps = results[(servers, IndexScope.LOCAL)]
+        # §3.1: local updates are faster (no remote index calls)...
+        assert l_update < g_update
+        # ...but every query is broadcast to each server...
+        assert l_rpcs == servers
+        assert g_rpcs <= 2
+        # ...which costs aggregate capacity: global sustains more qps.
+        assert g_qps > 1.5 * l_qps
+
+    # The gap widens with cluster size: global query capacity scales out,
+    # broadcast capacity cannot.
+    g_ratio = (results[(9, IndexScope.GLOBAL)][2]
+               / results[(3, IndexScope.GLOBAL)][2])
+    l_ratio = (results[(9, IndexScope.LOCAL)][2]
+               / results[(3, IndexScope.LOCAL)][2])
+    assert g_ratio > 1.5 * l_ratio

@@ -1,0 +1,56 @@
+"""Extension bench — what session consistency costs (§5.2).
+
+async-session's read-your-writes is paid for on the write path: the put
+asks the server to return the old value (one extra base read) so the
+client can derive private index entries.  This bench quantifies that
+premium over plain async-simple — a trade-off the paper describes but
+does not plot."""
+
+import pytest
+
+from repro.bench import Experiment, ExperimentConfig, format_table
+from repro.sim.random import RandomStream
+from repro.ycsb import OpType
+
+
+def measure_session_premium():
+    out = {}
+    for label, use_session in (("async", False), ("session", True),
+                               ("full", False)):
+        exp = Experiment(ExperimentConfig(scheme_label=label,
+                                          record_count=2000,
+                                          title_cardinality=400))
+        cluster = exp.cluster
+        client = cluster.new_client("bench")
+        session = client.get_session() if use_session else None
+        rng = RandomStream(23)
+        latencies = []
+
+        def worker():
+            for i in range(400):
+                row, values = (exp.schema.rowkey(rng.randint(0, 1999)),
+                               exp.schema.update_values(i, rng))
+                start = cluster.sim.now()
+                yield from client.put(exp.TABLE, row, values,
+                                      session=session)
+                latencies.append(cluster.sim.now() - start)
+
+        cluster.run(worker(), name="session-bench")
+        out[label] = sum(latencies) / len(latencies)
+    return out
+
+
+@pytest.mark.paper("§5.2 session consistency cost (extension)")
+def test_session_write_premium(benchmark):
+    means = benchmark.pedantic(measure_session_premium, rounds=1,
+                               iterations=1)
+    print()
+    print(format_table(["scheme", "put mean (ms)"],
+                       [[k, f"{v:.2f}"] for k, v in means.items()],
+                       title="Session-consistency write premium"))
+    # The session put pays the old-value read: strictly more expensive
+    # than plain async (the read is a random, usually disk-bound access)...
+    assert means["session"] > means["async"]
+    # ...but still cheaper than sync-full, which pays the same read PLUS
+    # the synchronous index put and delete round-trips.
+    assert means["session"] < means["full"]

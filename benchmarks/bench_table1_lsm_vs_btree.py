@@ -1,0 +1,30 @@
+"""Table 1 — LSM tree vs B-Tree, measured.
+
+Paper claim: LSM is optimised for writes (append-only, fast) while
+B-Trees update in place (slower writes, faster reads); in LSM "a read is
+many times slower than a write".
+"""
+
+import pytest
+
+from repro.bench import format_table, table1_lsm_vs_btree
+
+
+@pytest.mark.paper("Table 1")
+def test_table1_lsm_vs_btree(benchmark):
+    profiles = benchmark.pedantic(table1_lsm_vs_btree, rounds=1, iterations=1)
+    rows = [[p.engine, f"{p.write_mean_ms:.3f}", f"{p.read_mean_ms:.3f}",
+             f"{p.read_io_per_op:.2f}"] for p in profiles]
+    print()
+    print(format_table(
+        ["Engine", "Write mean (ms)", "Read mean (ms)", "Read I/O/op"],
+        rows, title="Table 1 — LSM vs B+Tree under one device model"))
+
+    lsm, btree = profiles
+    assert lsm.engine == "LSM" and btree.engine == "B+Tree"
+    # LSM: write optimised — much cheaper writes than the B-Tree.
+    assert lsm.write_mean_ms < btree.write_mean_ms / 3
+    # LSM: reads are many times slower than its own writes.
+    assert lsm.read_mean_ms > 3 * lsm.write_mean_ms
+    # B-Tree: reads are NOT slower than writes (in-place structure).
+    assert btree.read_mean_ms <= btree.write_mean_ms

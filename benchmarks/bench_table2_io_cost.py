@@ -1,0 +1,66 @@
+"""Table 2 — I/O cost of Diff-Index schemes, counted empirically.
+
+Paper's analytic table (update / read actions):
+
+    scheme       update: BasePut BaseRead IndexPut     read: IndexRead BaseRead IndexPut
+    no-index     1       0        0                    -
+    sync-full    1       1        1+1                  1         0        0
+    sync-insert  1       0        1                    1         K        K (deletes)
+    async-simple 1       [1]      [1+1]                1         0        0
+"""
+
+import pytest
+
+from repro.bench import render_table2
+from repro.bench.experiments import table2_io_cost
+
+K = 3
+
+
+@pytest.mark.paper("Table 2")
+def test_table2_io_cost(benchmark):
+    costs = benchmark.pedantic(table2_io_cost, kwargs={"k_rows": K},
+                               rounds=1, iterations=1)
+    print()
+    print(render_table2(costs))
+
+    # --- no-index: update = 1 base put and nothing else -----------------
+    null_update = costs["null"]["update"]
+    assert null_update["base_put"] == 1
+    assert null_update["index_put"] == 0
+    assert null_update["base_read"] == 0
+
+    # --- sync-full: update = 1 put, 1 read, 1 index put + 1 index delete
+    full_update = costs["full"]["update"]
+    assert full_update["base_put"] == 1
+    assert full_update["base_read"] == 1
+    assert full_update["index_put"] == 1
+    assert full_update["index_delete"] == 1
+    # read = 1 index read, no base ops
+    full_read = costs["full"]["read"]
+    assert full_read["index_read"] == 1
+    assert full_read["base_read"] == 0
+
+    # --- sync-insert: update = 1 put + 1 index put only ------------------
+    insert_update = costs["insert"]["update"]
+    assert insert_update["base_put"] == 1
+    assert insert_update["base_read"] == 0
+    assert insert_update["index_put"] == 1
+    assert insert_update["index_delete"] == 0
+    # read = 1 index read + K base reads (double-check) + K index deletes
+    insert_read = costs["insert"]["read"]
+    assert insert_read["index_read"] == 1
+    assert insert_read["base_read"] == K
+    assert insert_read["index_delete"] == K
+
+    # --- async-simple: update acks with 1 base put; the bracketed ops are
+    # asynchronous -----------------------------------------------------------
+    async_update = costs["async"]["update"]
+    assert async_update["base_put"] == 1
+    assert async_update["base_read"] == 0         # nothing sync beyond the put
+    assert async_update["async_base_read"] == 1   # [1]
+    assert async_update["async_index_put"] == 1   # [1 + 1]
+    assert async_update["async_index_delete"] == 1
+    async_read = costs["async"]["read"]
+    assert async_read["index_read"] == 1
+    assert async_read["base_read"] == 0

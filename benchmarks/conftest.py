@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` module regenerates one paper table/figure.  The printed
+series are the deliverable; pytest-benchmark wraps the headline
+measurement of each experiment so regressions in the simulated system
+(or its wall-clock cost) are visible across runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``REPRO_BENCH_SCALE=full`` enables the larger sweeps.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "paper(ref): which table/figure this regenerates")
+
+
+@pytest.fixture(scope="session")
+def results_log():
+    """Accumulates printed experiment output for post-run inspection."""
+    lines = []
+    yield lines
+    if lines:
+        print("\n".join(lines))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Failure recovery (§5.3): kill a region server mid-workload and watch
+the AUQ recover through WAL replay — without a dedicated AUQ log.
+
+The run:
+  1. loads a table with an async index and builds an AUQ backlog;
+  2. kills the server hosting the most regions (its memtables AND its
+     queued index updates evaporate);
+  3. waits for the ZooKeeper-stand-in to detect the death and replay the
+     WAL onto surviving servers — re-enqueueing every indexed put;
+  4. verifies the index converges to exactly-consistent.
+
+Also demonstrates *why* the drain-before-flush rule exists: with the
+protocol disabled, the same crash loses index updates for good.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, ServerConfig, check_index
+from repro.sim.random import RandomStream
+
+
+def run_crash(drain_before_flush: bool) -> tuple:
+    config = ServerConfig(drain_auq_before_flush=drain_before_flush,
+                          # small memtables force flushes mid-workload
+                          maintenance_interval_ms=20.0)
+    cluster = MiniCluster(num_servers=4, server_config=config,
+                          heartbeat_timeout_ms=1000.0).start()
+    cluster.create_table("items", split_keys=[b"item0250", b"item0500",
+                                              b"item0750"],
+                         flush_threshold_bytes=24 * 1024)
+    cluster.create_index(IndexDescriptor(
+        "by_tag", "items", ("tag",), scheme=IndexScheme.ASYNC_SIMPLE))
+
+    client = cluster.new_client()
+    rng = RandomStream(7)
+
+    def writes():
+        for i in range(600):
+            row = f"item{rng.randint(0, 999):04d}".encode()
+            yield from client.put("items", row,
+                                  {"tag": f"tag{rng.randint(0, 20)}".encode(),
+                                   "body": rng.bytes(120)})
+
+    cluster.run(writes(), name="writer")
+
+    victim = max(cluster.servers.values(), key=lambda s: len(s.regions))
+    backlog = cluster.auq_backlog()
+    print(f"  killing {victim.name} "
+          f"(hosting {len(victim.regions)} regions, "
+          f"cluster AUQ backlog = {backlog})")
+    cluster.kill_server(victim.name)
+
+    while victim.name not in cluster.coordinator.recoveries_completed:
+        cluster.advance(100.0)
+    print(f"  recovery completed at t={cluster.sim.now():.0f} ms")
+
+    cluster.quiesce()
+    report = check_index(cluster, "by_tag")
+    return report, victim.name
+
+
+def main() -> None:
+    print("=== with drain-AUQ-before-flush (the paper's protocol) ===")
+    report, victim = run_crash(drain_before_flush=True)
+    print(f"  after quiesce: {report}")
+    assert report.is_consistent, "protocol on: index must fully recover"
+    print("  no index update lost; re-delivered entries were idempotent.")
+
+    print("\n=== protocol disabled (ablation) ===")
+    report, victim = run_crash(drain_before_flush=False)
+    print(f"  after quiesce: {report}")
+    if report.missing or report.stale:
+        print(f"  => {len(report.missing)} index updates LOST, "
+              f"{len(report.stale)} stale left behind: AUQ entries whose "
+              "base puts had already been flushed could not be rebuilt "
+              "from the WAL.")
+    else:
+        print("  (this run got lucky — no flush landed between enqueue "
+              "and crash; rerun with a different seed to see the loss)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.experiments import (ablation_drain_before_flush,
+                                     claim_index_vs_scan,
+                                     figure7_update_latency,
+                                     figure8_read_latency,
+                                     figure9_range_selectivity,
+                                     figure10_scaleout, figure11_staleness,
+                                     render_table2, table1_lsm_vs_btree,
+                                     table2_io_cost,
+                                     update_overhead_reduction)
+from repro.bench.harness import Experiment, ExperimentConfig, SCHEME_LABELS
+from repro.bench.report import Series, format_series, format_table
+
+__all__ = [
+    "Experiment", "ExperimentConfig", "SCHEME_LABELS",
+    "Series", "format_table", "format_series",
+    "table1_lsm_vs_btree", "table2_io_cost", "render_table2",
+    "figure7_update_latency", "update_overhead_reduction",
+    "figure8_read_latency", "figure9_range_selectivity",
+    "figure10_scaleout", "figure11_staleness",
+    "claim_index_vs_scan", "ablation_drain_before_flush",
+]

@@ -1,0 +1,55 @@
+"""Plain-text reporting: the rows/series the paper's tables and figures show."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "Series"]
+
+
+class Series:
+    """One figure's data: named curves over a shared x axis."""
+
+    def __init__(self, name: str, x_label: str, y_label: str):
+        self.name = name
+        self.x_label = x_label
+        self.y_label = y_label
+        self.curves: Dict[str, List[tuple]] = {}
+
+    def add(self, curve: str, x, y) -> None:
+        self.curves.setdefault(curve, []).append((x, y))
+
+    def curve(self, name: str) -> List[tuple]:
+        return self.curves.get(name, [])
+
+    def render(self) -> str:
+        lines = [f"== {self.name} ==",
+                 f"   ({self.x_label} vs {self.y_label})"]
+        for curve, points in self.curves.items():
+            lines.append(f"  {curve}:")
+            for x, y in points:
+                lines.append(f"    {x:>12} -> {y:10.2f}")
+        return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Series) -> str:
+    return series.render()

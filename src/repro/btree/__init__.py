@@ -1,0 +1,5 @@
+"""B+Tree baseline used by the Table 1 (LSM vs B-Tree) comparison."""
+
+from repro.btree.btree import BPlusTree, IoTally
+
+__all__ = ["BPlusTree", "IoTally"]

@@ -1,0 +1,172 @@
+"""A page-based B+Tree with in-place updates — the Table 1 baseline.
+
+The paper's Table 1 contrasts LSM with B-Trees qualitatively (write:
+append-only & fast vs in-place & slower; read: relatively slow vs fast).
+To *measure* that claim under the same device model, this B+Tree counts
+page reads and page writes per operation; a write must first traverse to
+the leaf (random page reads) and then write the page back in place
+(random I/O), whereas the LSM write is one sequential log append plus a
+memory insert.
+
+The tree is a textbook B+Tree over byte keys: internal nodes hold router
+keys, leaves hold (key, value) pairs and are chained for range scans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree", "IoTally"]
+
+
+@dataclasses.dataclass
+class IoTally:
+    """Page-level I/O of one operation (fed to the latency model)."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+
+    def reset(self) -> "IoTally":
+        snapshot = IoTally(self.pages_read, self.pages_written)
+        self.pages_read = 0
+        self.pages_written = 0
+        return snapshot
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[bytes] = []
+        self.children: List["_Node"] = []   # internal only
+        self.values: List[bytes] = []       # leaf only
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self.height = 1
+        self.tally = IoTally()
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- search -----------------------------------------------------------
+
+    def _find_leaf(self, key: bytes) -> Tuple[_Node, List[_Node]]:
+        """Descend to the leaf for ``key``, counting one page read per
+        level (uppermost levels would be cached in a real system; the
+        benchmark's latency model applies its own cache assumption)."""
+        path: List[_Node] = []
+        node = self._root
+        self.tally.pages_read += 1
+        while not node.leaf:
+            path.append(node)
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+            self.tally.pages_read += 1
+        return node, path
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        leaf, _path = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # -- mutation -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update IN PLACE — the structural opposite of LSM."""
+        leaf, path = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value         # in-place update
+            self.tally.pages_written += 1
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._size += 1
+        self.tally.pages_written += 1
+        if len(leaf.keys) > self.order:
+            self._split(leaf, path)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove the key (no rebalancing — pages may underflow, as many
+        practical implementations tolerate)."""
+        leaf, _path = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self._size -= 1
+        self.tally.pages_written += 1
+        return True
+
+    def _split(self, node: _Node, path: List[_Node]) -> None:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=node.leaf)
+        if node.leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            promote = right.keys[0]
+        else:
+            promote = node.keys[mid]
+            right.keys = node.keys[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+        self.tally.pages_written += 2
+
+        if path:
+            parent = path[-1]
+            idx = bisect_right(parent.keys, promote)
+            parent.keys.insert(idx, promote)
+            parent.children.insert(idx + 1, right)
+            self.tally.pages_written += 1
+            if len(parent.keys) > self.order:
+                self._split(parent, path[:-1])
+        else:
+            new_root = _Node(leaf=False)
+            new_root.keys = [promote]
+            new_root.children = [node, right]
+            self._root = new_root
+            self.height += 1
+            self.tally.pages_written += 1
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan(self, start: bytes, end: Optional[bytes] = None,
+             ) -> Iterator[Tuple[bytes, bytes]]:
+        leaf, _path = self._find_leaf(start)
+        idx = bisect_left(leaf.keys, start)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if end is not None and key >= end:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self.tally.pages_read += 1
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        return self.scan(b"")

@@ -1,0 +1,247 @@
+"""The client library.
+
+Mirrors the HBase client plus the Diff-Index client-side component (§7):
+partition-map caching with refresh-and-retry on stale routes, the
+``getByIndex`` read API, and the session-consistency machinery — the
+session cache lives here, in the client library, exactly as in §5.2.
+
+All public methods are generator coroutines to be driven by the
+simulator; :class:`repro.cluster.cluster.MiniCluster.run` provides the
+blocking facade used by examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Dict, Generator, List, Optional, Sequence, Tuple,
+                    TYPE_CHECKING)
+
+from repro.errors import (NoSuchIndexError, NoSuchRegionError,
+                          NoSuchTableError, ServerDownError)
+from repro.core import reader as reader_mod
+from repro.core.encoding import IndexableValue
+from repro.core.index import IndexDescriptor
+from repro.core.reader import IndexHit
+from repro.core.schemes import IndexScheme
+from repro.core.session import Session
+from repro.lsm.types import Cell, KeyRange
+from repro.sim.kernel import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+    from repro.cluster.master import RegionInfo
+
+__all__ = ["Client"]
+
+
+class Client:
+    def __init__(self, cluster: "MiniCluster", name: str = "client",
+                 max_route_retries: int = 60, retry_backoff_ms: float = 50.0):
+        self.cluster = cluster
+        self.name = name
+        self.max_route_retries = max_route_retries
+        self.retry_backoff_ms = retry_backoff_ms
+        self._layout = cluster.master.snapshot_layout()
+        self._sessions: Dict[str, Session] = {}
+        self.route_refreshes = 0
+
+    # -- partition map -----------------------------------------------------------
+
+    def refresh_layout(self) -> None:
+        self._layout = self.cluster.master.snapshot_layout()
+        self.route_refreshes += 1
+
+    def _locate(self, table: str, row: bytes) -> "RegionInfo":
+        infos = self._layout.get(table)
+        if infos is None:
+            self.refresh_layout()
+            infos = self._layout.get(table)
+            if infos is None:
+                raise NoSuchTableError(table)
+        for info in infos:
+            if info.key_range.contains(row):
+                return info
+        raise NoSuchRegionError(f"{table!r} has no region for {row!r}")
+
+    def _routed(self, table: str, row: bytes, op_factory,
+                ) -> Generator[Any, Any, Any]:
+        """Route to the hosting server; on a stale route (dead server /
+        moved region) refresh the map and retry with backoff — the client
+        behaviour that rides out a region-server recovery."""
+        attempts = 0
+        while True:
+            try:
+                info = self._locate(table, row)
+                server = self.cluster.servers[info.server_name]
+                result = yield from self.cluster.network.call(
+                    server, lambda: op_factory(server))
+                return result
+            except (ServerDownError, NoSuchRegionError):
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+
+    # -- sessions ---------------------------------------------------------------
+
+    def get_session(self, max_duration_ms: Optional[float] = None,
+                    memory_limit_entries: int = 100_000) -> Session:
+        kwargs = {"memory_limit_entries": memory_limit_entries}
+        if max_duration_ms is not None:
+            kwargs["max_duration_ms"] = max_duration_ms
+        session = Session(self.cluster.sim.now(), **kwargs)
+        self._sessions[session.session_id] = session
+        return session
+
+    def end_session(self, session: Session) -> None:
+        session.end()
+        self._sessions.pop(session.session_id, None)
+
+    def _session_indexes(self, table: str) -> List[IndexDescriptor]:
+        descriptor = self.cluster.descriptor(table)
+        return [index for index in descriptor.indexes.values()
+                if index.scheme is IndexScheme.ASYNC_SESSION]
+
+    # -- CRUD -------------------------------------------------------------------
+
+    def put(self, table: str, row: bytes, values: Dict[str, bytes],
+            session: Optional[Session] = None,
+            ) -> Generator[Any, Any, int]:
+        """Insert/update columns of one row; returns the assigned ts."""
+        want_old = bool(session is not None and not session.disabled
+                        and self._session_indexes(table))
+        if session is not None:
+            session.touch(self.cluster.sim.now())
+        ts, old = yield from self._routed(
+            table, row,
+            lambda server: server.handle_put(table, row, values,
+                                             return_old=want_old))
+        if want_old:
+            old_values = {col: value
+                          for col, (value, _ts) in (old or {}).items()}
+            session.record_put(table, row, values, old_values, ts,
+                               self._session_indexes(table))
+        return ts
+
+    def delete(self, table: str, row: bytes, columns: Sequence[str],
+               session: Optional[Session] = None,
+               ) -> Generator[Any, Any, int]:
+        want_old = bool(session is not None and not session.disabled
+                        and self._session_indexes(table))
+        if session is not None:
+            session.touch(self.cluster.sim.now())
+        ts, old = yield from self._routed(
+            table, row,
+            lambda server: server.handle_delete(table, row, list(columns),
+                                                return_old=want_old))
+        if want_old:
+            old_values = {col: value
+                          for col, (value, _ts) in (old or {}).items()}
+            session.record_delete(table, row, list(columns), old_values, ts,
+                                  self._session_indexes(table))
+        return ts
+
+    def get(self, table: str, row: bytes,
+            columns: Optional[List[str]] = None,
+            max_ts: Optional[int] = None,
+            session: Optional[Session] = None,
+            ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        result = yield from self._routed(
+            table, row,
+            lambda server: server.handle_get(table, row, columns, max_ts))
+        if session is not None and not session.disabled:
+            session.touch(self.cluster.sim.now())
+            result = session.merge_base_row(table, row, result)
+        return result
+
+    # -- scans ------------------------------------------------------------------
+
+    def scan_table(self, table: str, key_range: KeyRange,
+                   limit: Optional[int] = None, is_index: bool = False,
+                   ) -> Generator[Any, Any, List[Cell]]:
+        """Scan ``key_range`` across every region it overlaps, in key order."""
+        attempts = 0
+        while True:
+            infos = self._layout.get(table)
+            if infos is None:
+                self.refresh_layout()
+                infos = self._layout.get(table)
+                if infos is None:
+                    raise NoSuchTableError(table)
+            try:
+                return (yield from self._scan_attempt(
+                    table, infos, key_range, limit, is_index))
+            except (ServerDownError, NoSuchRegionError):
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+
+    def _scan_attempt(self, table, infos, key_range, limit, is_index,
+                      ) -> Generator[Any, Any, List[Cell]]:
+        out: List[Cell] = []
+        for info in sorted(infos, key=lambda i: i.key_range.start):
+            if not info.key_range.overlaps(key_range):
+                continue
+            server = self.cluster.servers[info.server_name]
+            clamped = key_range.clamp(info.key_range)
+            remaining = None if limit is None else limit - len(out)
+            if remaining is not None and remaining <= 0:
+                break
+            if is_index:
+                cells = yield from self.cluster.network.call(
+                    server, lambda s=server, c=clamped, r=remaining:
+                    s.handle_index_scan(table, c, r))
+            else:
+                cells = yield from self.cluster.network.call(
+                    server, lambda s=server, c=clamped, r=remaining:
+                    s.handle_scan(table, c, r))
+            out.extend(cells)
+        if limit is not None:
+            out = out[:limit]
+        return out
+
+    # -- secondary-index reads ------------------------------------------------------
+
+    def get_by_index(self, index_name: str,
+                     equals: Optional[Sequence[IndexableValue]] = None,
+                     low: Optional[IndexableValue] = None,
+                     high: Optional[IndexableValue] = None,
+                     limit: Optional[int] = None,
+                     session: Optional[Session] = None,
+                     ) -> Generator[Any, Any, List[IndexHit]]:
+        """getByIndex: rowkeys (as :class:`IndexHit`) matching the predicate."""
+        index = self.cluster.index_descriptor(index_name)
+        hits = yield from reader_mod.get_by_index(
+            self, index, equals=equals, low=low, high=high, limit=limit,
+            session=session)
+        return hits
+
+    def get_rows_by_index(self, index_name: str,
+                          equals: Optional[Sequence[IndexableValue]] = None,
+                          low: Optional[IndexableValue] = None,
+                          high: Optional[IndexableValue] = None,
+                          limit: Optional[int] = None,
+                          session: Optional[Session] = None,
+                          ) -> Generator[Any, Any, List[Tuple[bytes, Dict]]]:
+        """getByIndex plus fetching the matching base rows."""
+        index = self.cluster.index_descriptor(index_name)
+        hits = yield from self.get_by_index(index_name, equals=equals,
+                                            low=low, high=high, limit=limit,
+                                            session=session)
+        rows = []
+        for hit in hits:
+            row_data = yield from self.get(index.base_table, hit.rowkey,
+                                           session=session)
+            if row_data:
+                rows.append((hit.rowkey, row_data))
+        return rows
+
+    def delete_index_entry(self, index_table: str, index_key: bytes,
+                           ts: int) -> Generator[Any, Any, None]:
+        """Used by the sync-insert read-repair path (Algorithm 2)."""
+        yield from self._routed(
+            index_table, index_key,
+            lambda server: server.handle_index_delete(index_table, index_key,
+                                                      ts, background=False))

@@ -1,0 +1,310 @@
+"""MiniCluster: the whole distributed store in one object.
+
+Owns the simulator, the durable FS, the network, the master, the
+coordinator and N region servers — the moral equivalent of the paper's
+experimental clusters (8 region servers in-house, 40 in RC2), with
+knobs for every experiment: latency model, fault injection, staleness
+sampling, flush-protocol ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import NoSuchIndexError, SimulationError
+from repro.core.index import IndexDescriptor, extract_index_values, row_index_key
+from repro.core.observers import build_observers
+from repro.core.staleness import StalenessTracker
+from repro.lsm.types import Cell
+from repro.cluster.client import Client
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.counters import OpCounters
+from repro.cluster.hdfs import SimHDFS
+from repro.cluster.master import Master
+from repro.cluster.network import FaultPlan, Network
+from repro.cluster.region import compose_cell_key
+from repro.cluster.server import RegionServer, ServerConfig
+from repro.cluster.table import TableDescriptor, TableKind
+from repro.sim.kernel import Process, Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.random import SeedFactory
+
+__all__ = ["MiniCluster"]
+
+
+class MiniCluster:
+    def __init__(self, num_servers: int = 4,
+                 model: Optional[LatencyModel] = None,
+                 server_config: Optional[ServerConfig] = None,
+                 seed: int = 42,
+                 staleness_sample_rate: float = 1.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 heartbeat_timeout_ms: float = 2000.0):
+        self.sim = Simulator()
+        self.model = model or LatencyModel()
+        self.seeds = SeedFactory(seed)
+        self.hdfs = SimHDFS()
+        self.network = Network(self.sim, self.model,
+                               rng=self.seeds.stream("network"),
+                               faults=fault_plan)
+        self.counters = OpCounters()
+        self.counters_degraded = 0
+        # Highest timestamp any server has handed out (see
+        # RegionServer.assign_timestamp).
+        self.ts_floor = 0
+        self.staleness = StalenessTracker(
+            sample_rate=staleness_sample_rate,
+            seed=self.seeds.seed_for("staleness") % (2 ** 31))
+
+        self.server_config = server_config or ServerConfig()
+        self.servers: Dict[str, RegionServer] = {}
+        for i in range(num_servers):
+            name = f"rs{i + 1}"
+            # Each server gets its own config copy so per-server tuning
+            # (or a test freezing one server's heartbeat) cannot leak.
+            self.servers[name] = RegionServer(
+                name, self, config=dataclasses.replace(self.server_config))
+
+        self.master = Master(self)
+        self.coordinator = Coordinator(
+            self, heartbeat_timeout_ms=heartbeat_timeout_ms)
+        self._observer_cache: Dict[str, Tuple] = {}
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "MiniCluster":
+        if not self._started:
+            for server in self.servers.values():
+                server.start()
+            self.coordinator.start()
+            self._started = True
+        return self
+
+    def kill_server(self, name: str) -> None:
+        """Crash one region server; the coordinator will notice via the
+        missed heartbeats and run recovery."""
+        self.servers[name].kill()
+
+    def alive_servers(self) -> List[RegionServer]:
+        return [s for s in self.servers.values() if s.alive]
+
+    # -- catalog ------------------------------------------------------------------
+
+    def descriptor(self, table: str) -> TableDescriptor:
+        return self.master.descriptor(table)
+
+    def index_descriptor(self, index_name: str) -> IndexDescriptor:
+        for descriptor in self.master.tables.values():
+            index = descriptor.indexes.get(index_name)
+            if index is not None:
+                return index
+        raise NoSuchIndexError(index_name)
+
+    def observers_for(self, table: str) -> Tuple:
+        cached = self._observer_cache.get(table)
+        if cached is None:
+            cached = build_observers(self.descriptor(table))
+            self._observer_cache[table] = cached
+        return cached
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     split_keys: Optional[List[bytes]] = None,
+                     max_versions: int = 3,
+                     flush_threshold_bytes: int = 256 * 1024,
+                     block_bytes: int = 4096) -> TableDescriptor:
+        descriptor = TableDescriptor(
+            name, TableKind.BASE, max_versions=max_versions,
+            flush_threshold_bytes=flush_threshold_bytes,
+            block_bytes=block_bytes)
+        self.master.create_table(descriptor, split_keys=split_keys)
+        return descriptor
+
+    def create_index(self, index: IndexDescriptor,
+                     split_keys: Optional[List[bytes]] = None,
+                     backfill: bool = True,
+                     prefix_compression: bool = False) -> TableDescriptor:
+        """CREATE INDEX: create the key-only index table, register the
+        descriptor in the catalog (and the base table descriptor, as
+        BigInsights stores a copy there), and optionally build entries
+        for pre-existing base data."""
+        base = self.descriptor(index.base_table)
+        if index.name in base.indexes:
+            from repro.errors import IndexExistsError
+            raise IndexExistsError(index.name)
+        if index.is_local:
+            # No separate table: entries live in each base region's
+            # reserved keyspace (co-location, §3.1).
+            base.attach_index(index)
+            self._observer_cache.pop(index.base_table, None)
+            if backfill:
+                self._backfill_local_index(index)
+            return base
+        index_table = TableDescriptor(
+            index.table_name, TableKind.INDEX,
+            max_versions=base.max_versions,
+            flush_threshold_bytes=base.flush_threshold_bytes,
+            block_bytes=base.block_bytes,
+            prefix_compression=prefix_compression)
+        self.master.create_table(index_table, split_keys=split_keys)
+        base.attach_index(index)
+        self._observer_cache.pop(index.base_table, None)
+        if backfill:
+            self._backfill_index(index)
+        return index_table
+
+    def change_index_scheme(self, index_name: str,
+                            new_scheme, scrub: bool = True) -> None:
+        """Switch an index's maintenance scheme at runtime (the adaptive
+        controller's actuator; see :mod:`repro.core.adaptive`).
+
+        Moving away from sync-insert (whose reads repair lazily) to a
+        scheme whose reads trust the index requires removing the stale
+        entries first — ``scrub`` does that synchronously.  Pending AUQ
+        work from an async phase needs no special handling: deliveries
+        are idempotent and timestamped, so they stay correct under the
+        new scheme."""
+        from repro.core.schemes import IndexScheme
+        index = self.index_descriptor(index_name)
+        if index.scheme is new_scheme:
+            return
+        leaving_lazy = index.scheme is IndexScheme.SYNC_INSERT
+        new_descriptor = dataclasses.replace(index, scheme=new_scheme)
+        base = self.descriptor(index.base_table)
+        base.indexes[index_name] = new_descriptor
+        self._observer_cache.pop(index.base_table, None)
+        if scrub and leaving_lazy \
+                and new_scheme is not IndexScheme.SYNC_INSERT:
+            self._scrub_stale_entries(new_descriptor)
+
+    def _scrub_stale_entries(self, index: IndexDescriptor) -> None:
+        """Tombstone every stale entry (WAL-logged, cost-free DDL path)."""
+        from repro.core.verify import actual_entries, expected_entries
+        expected = expected_entries(self, index)
+        actual = actual_entries(self, index)
+        for key, ts in actual.items():
+            if key in expected:
+                continue
+            info = self.master.locate(index.table_name, key)
+            server = self.servers[info.server_name]
+            region = server.regions[info.region_name]
+            tomb = Cell(key, ts, None)
+            record = server.wal.append(info.region_name, index.table_name,
+                                       (tomb,))
+            region.tree.add(tomb, seqno=record.seqno)
+
+    def drop_index(self, index_name: str) -> None:
+        index = self.index_descriptor(index_name)
+        base = self.descriptor(index.base_table)
+        base.detach_index(index_name)
+        self._observer_cache.pop(index.base_table, None)
+        if index.is_local:
+            # No table to drop; tombstone the reserved-keyspace entries so
+            # a later same-named index cannot resurrect them.
+            from repro.core.local import local_scan_range
+            from repro.lsm.types import KeyRange
+            reserved = local_scan_range(index.name, KeyRange())
+            for info in self.master.layout[index.base_table]:
+                server = self.servers[info.server_name]
+                region = server.regions.get(info.region_name)
+                if region is None:
+                    continue
+                doomed = tuple(Cell(cell.key, cell.ts, None)
+                               for cell in region.tree.scan(reserved))
+                if doomed:
+                    record = server.wal.append(info.region_name,
+                                               index.base_table, doomed)
+                    region.tree.add_many(doomed, seqno=record.seqno)
+            return
+        self.master.drop_table(index.table_name)
+
+    def _backfill_index(self, index: IndexDescriptor) -> None:
+        """Offline index build over existing base rows (the client-side
+        "utility for index creation" of §7).  Entries are WAL-logged so a
+        crash cannot silently lose built entries."""
+        for info in self.master.layout[index.base_table]:
+            server = self.servers[info.server_name]
+            region = server.regions[info.region_name]
+            for row, row_data in region.iter_base_rows():
+                values = {col: value
+                          for col, (value, _ts) in row_data.items()}
+                tup = extract_index_values(index, values)
+                if tup is None:
+                    continue
+                entry_ts = max(ts for col, (_v, ts) in row_data.items()
+                               if col in index.columns)
+                entry = Cell(row_index_key(index, tup, row), entry_ts, b"")
+                target_info = self.master.locate(index.table_name, entry.key)
+                target = self.servers[target_info.server_name]
+                target_region = target.regions[target_info.region_name]
+                record = target.wal.append(target_info.region_name,
+                                           index.table_name, (entry,))
+                target_region.tree.add(entry, seqno=record.seqno)
+
+    def _backfill_local_index(self, index: IndexDescriptor) -> None:
+        from repro.core.local import local_entry_key
+        for info in self.master.layout[index.base_table]:
+            server = self.servers[info.server_name]
+            region = server.regions[info.region_name]
+            entries = []
+            for row, row_data in region.iter_base_rows():
+                values = {col: value
+                          for col, (value, _ts) in row_data.items()}
+                tup = extract_index_values(index, values)
+                if tup is None:
+                    continue
+                entry_ts = max(ts for col, (_v, ts) in row_data.items()
+                               if col in index.columns)
+                entries.append(Cell(
+                    local_entry_key(index.name,
+                                    row_index_key(index, tup, row)),
+                    entry_ts, b""))
+            if entries:
+                record = server.wal.append(info.region_name,
+                                           index.base_table, tuple(entries))
+                region.tree.add_many(tuple(entries), seqno=record.seqno)
+
+    # -- routing (server-side authoritative view) -------------------------------------
+
+    def locate(self, table: str, row: bytes) -> Tuple[RegionServer, str]:
+        info = self.master.locate(table, row)
+        return self.servers[info.server_name], info.region_name
+
+    # -- clients & driving --------------------------------------------------------------
+
+    def new_client(self, name: str = "client") -> Client:
+        return Client(self, name=name)
+
+    def run(self, gen: Generator, name: str = "task") -> Any:
+        """Blocking facade: drive the simulator until ``gen`` completes."""
+        return self.sim.run_until_complete(self.sim.spawn(gen, name=name))
+
+    def spawn(self, gen: Generator, name: str = "task") -> Process:
+        return self.sim.spawn(gen, name=name)
+
+    def advance(self, ms: float) -> None:
+        """Let background work (APS, flushes, heartbeats) run for ``ms``."""
+        self.sim.run(until=self.sim.now() + ms)
+
+    # -- quiescing -----------------------------------------------------------------------
+
+    def auq_backlog(self) -> int:
+        return sum(len(s.auq) + s.auq_inflight.count
+                   for s in self.alive_servers())
+
+    def quiesce(self, step_ms: float = 20.0,
+                max_wait_ms: float = 600_000.0) -> None:
+        """Advance simulated time until every AUQ is drained — the
+        "eventually" in eventual consistency, made explicit for tests."""
+        deadline = self.sim.now() + max_wait_ms
+        while self.sim.now() < deadline:
+            if self.auq_backlog() == 0 and not any(
+                    s.put_inflight.count for s in self.alive_servers()):
+                return
+            self.advance(step_ms)
+        raise SimulationError(
+            f"AUQs not drained after {max_wait_ms} ms "
+            f"(backlog={self.auq_backlog()})")

@@ -1,0 +1,50 @@
+"""ZooKeeper stand-in: heartbeat-based failure detection.
+
+§2.2: "ZooKeeper is the cluster management node dealing with region
+assignment, node failure, etc." — here a single watchdog process that
+declares a server dead when its heartbeat goes quiet for longer than the
+timeout and then drives :func:`repro.cluster.recovery.recover_server`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Set, TYPE_CHECKING
+
+from repro.cluster.recovery import recover_server
+from repro.sim.kernel import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    def __init__(self, cluster: "MiniCluster",
+                 heartbeat_timeout_ms: float = 2000.0,
+                 check_interval_ms: float = 250.0):
+        self.cluster = cluster
+        self.heartbeat_timeout_ms = heartbeat_timeout_ms
+        self.check_interval_ms = check_interval_ms
+        self.declared_dead: Set[str] = set()
+        self.recoveries_completed: List[str] = []
+        self._running = False
+
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.cluster.sim.spawn(self._watch_loop(), name="coordinator")
+
+    def _watch_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            yield Timeout(self.check_interval_ms)
+            now = self.cluster.sim.now()
+            for server in list(self.cluster.servers.values()):
+                if server.name in self.declared_dead:
+                    continue
+                silent_for = now - server.last_heartbeat
+                if not server.alive or silent_for > self.heartbeat_timeout_ms:
+                    self.declared_dead.add(server.name)
+                    server.alive = False  # fence a hung-but-running server
+                    yield from recover_server(self.cluster, server)
+                    self.recoveries_completed.append(server.name)

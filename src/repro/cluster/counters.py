@@ -1,0 +1,56 @@
+"""I/O operation counters — the instrumentation behind Table 2.
+
+The paper's Table 2 accounts, per Diff-Index scheme and per action
+(index update / index read), how many base puts, base reads, index puts
+(including deletes) and index reads are issued, with asynchronous
+operations bracketed.  Servers increment these counters at the point the
+operation executes; the benchmark divides by the number of driver-level
+actions to recover the per-action costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["OpCounters", "Snapshot"]
+
+
+@dataclasses.dataclass
+class Snapshot:
+    base_put: int = 0
+    base_read: int = 0
+    index_put: int = 0
+    index_delete: int = 0
+    index_read: int = 0
+    # The same ops executed from the APS (bracketed "[ ]" in Table 2).
+    async_base_read: int = 0
+    async_index_put: int = 0
+    async_index_delete: int = 0
+
+    def minus(self, other: "Snapshot") -> "Snapshot":
+        return Snapshot(**{
+            field.name: getattr(self, field.name) - getattr(other, field.name)
+            for field in dataclasses.fields(Snapshot)})
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class OpCounters:
+    """Cluster-wide mutable counters with snapshot/diff support."""
+
+    def __init__(self) -> None:
+        self._counts = Snapshot()
+
+    def incr(self, name: str, n: int = 1) -> None:
+        setattr(self._counts, name, getattr(self._counts, name) + n)
+
+    def snapshot(self) -> Snapshot:
+        return dataclasses.replace(self._counts)
+
+    def since(self, baseline: Snapshot) -> Snapshot:
+        return self._counts.minus(baseline)
+
+    def reset(self) -> None:
+        self._counts = Snapshot()

@@ -1,0 +1,72 @@
+"""SimHDFS: the durable, replicated file layer under the cluster.
+
+In HBase, write-ahead logs and flushed HTables live in HDFS, which is
+fault-tolerant and reachable from every node — that is the foundation of
+the recovery story (§5.3: "data in in-memory MemTables have their WAL
+persisted in HDFS; on-disk HTables themselves persist on HDFS").  Here
+the namespace is a plain dictionary owned by the cluster object, so it
+survives the death of any region-server object by construction, while
+still giving recovery code the same operations HBase uses: fetch a dead
+server's WAL, list a region's store files, delete a replayed log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.sstable import SSTable
+from repro.lsm.wal import WalRecord
+
+__all__ = ["SimHDFS"]
+
+
+class SimHDFS:
+    def __init__(self) -> None:
+        # WALs: one append-only record list per region server.
+        self._wals: Dict[str, List[WalRecord]] = {}
+        # Store files: (table, region) -> ordered SSTables (newest first).
+        self._stores: Dict[Tuple[str, str], List[SSTable]] = {}
+
+    # -- WAL namespace -------------------------------------------------------
+
+    def create_wal(self, server_name: str) -> List[WalRecord]:
+        """Create (or truncate) the WAL backing list for a server."""
+        backing: List[WalRecord] = []
+        self._wals[server_name] = backing
+        return backing
+
+    def wal_records(self, server_name: str) -> List[WalRecord]:
+        if server_name not in self._wals:
+            raise StorageError(f"no WAL for server {server_name!r}")
+        return list(self._wals[server_name])
+
+    def delete_wal(self, server_name: str) -> None:
+        self._wals.pop(server_name, None)
+
+    def has_wal(self, server_name: str) -> bool:
+        return server_name in self._wals
+
+    # -- store-file namespace --------------------------------------------------
+
+    def set_store_files(self, table: str, region: str,
+                        sstables: List[SSTable]) -> None:
+        """Replace the durable store-file listing after flush/compaction."""
+        self._stores[(table, region)] = list(sstables)
+
+    def store_files(self, table: str, region: str) -> List[SSTable]:
+        return list(self._stores.get((table, region), []))
+
+    def delete_store(self, table: str, region: str) -> None:
+        self._stores.pop((table, region), None)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    @property
+    def total_store_bytes(self) -> int:
+        return sum(t.total_bytes
+                   for tables in self._stores.values() for t in tables)
+
+    @property
+    def total_wal_records(self) -> int:
+        return sum(len(records) for records in self._wals.values())

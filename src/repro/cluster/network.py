@@ -1,0 +1,74 @@
+"""Simulated RPC fabric.
+
+Every client→server and server→server interaction crosses this fabric
+and pays propagation delay both ways; that is the "remote calls and
+therefore a longer latency" cost of a *global* index the paper weighs
+against local indexes (§3.1).  The fabric also injects faults: a failed
+index RPC is what sends a sync-scheme operation down the degrade-to-AUQ
+durability path (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import RpcError, ServerDownError
+from repro.sim.kernel import Simulator, Timeout
+from repro.sim.latency import LatencyModel
+from repro.sim.random import RandomStream
+
+__all__ = ["Network", "FaultPlan"]
+
+
+class FaultPlan:
+    """Probabilistic RPC failures, switchable at runtime."""
+
+    def __init__(self, fail_probability: float = 0.0,
+                 rng: Optional[RandomStream] = None):
+        self.fail_probability = fail_probability
+        self._rng = rng or RandomStream(0)
+
+    def should_fail(self) -> bool:
+        return (self.fail_probability > 0.0
+                and self._rng.random() < self.fail_probability)
+
+
+class Network:
+    def __init__(self, sim: Simulator, model: LatencyModel,
+                 rng: Optional[RandomStream] = None,
+                 faults: Optional[FaultPlan] = None):
+        self.sim = sim
+        self.model = model
+        self._rng = rng or RandomStream(1)
+        self.faults = faults or FaultPlan()
+        self.rpc_count = 0
+        self.failed_rpcs = 0
+
+    def call(self, target: Any,
+             handler_factory: Callable[[], Generator],
+             ) -> Generator[Any, Any, Any]:
+        """Round-trip RPC: propagate → run handler on target → propagate back.
+
+        ``target`` is any object with ``alive`` (bool) and ``name`` (str);
+        the handler coroutine is produced lazily so a dead server never
+        executes it.  Usage: ``result = yield from network.call(server,
+        lambda: server.handle_get(...))``.
+        """
+        self.rpc_count += 1
+        if self.faults.should_fail():
+            self.failed_rpcs += 1
+            # The request is lost in flight: the caller still waited.
+            yield Timeout(self.model.rpc_delay(self._rng))
+            raise RpcError(f"rpc to {target.name} lost (injected fault)")
+
+        yield Timeout(self.model.rpc_delay(self._rng))
+        if not target.alive:
+            self.failed_rpcs += 1
+            raise ServerDownError(f"server {target.name} is down")
+        result = yield from handler_factory()
+        if not target.alive:
+            # Server died while serving: the response never leaves the node.
+            self.failed_rpcs += 1
+            raise ServerDownError(f"server {target.name} died mid-request")
+        yield Timeout(self.model.rpc_delay(self._rng))
+        return result

@@ -1,0 +1,124 @@
+"""Region-server failure recovery (§5.3).
+
+HBase's protocol, plus the Diff-Index addition:
+
+1. fetch the dead server's WAL from SimHDFS and split it per region;
+2. reassign each region to a live server;
+3. re-link the flushed store files (they persist in SimHDFS);
+4. replay the region's WAL slice into the new server's memtable, re-logging
+   every record into the new server's own WAL;
+5. **Diff-Index**: every replayed put of an indexed table is re-added to
+   the new server's AUQ, "regardless of whether or not it has been
+   delivered to index tables before the failure" — correct because index
+   entries carry base timestamps, making re-delivery idempotent.
+
+Because the drain-AUQ-before-flush protocol guarantees ``PR(Flushed) = ∅``,
+the WAL is a complete log of every pending AUQ task, and no separate AUQ
+log is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
+
+from repro.core.auq import IndexTask
+from repro.core.local import is_reserved_key
+from repro.lsm.wal import WalRecord
+from repro.cluster.region import Region, split_cell_key
+from repro.sim.kernel import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+    from repro.cluster.server import RegionServer
+
+__all__ = ["recover_server", "task_from_wal_record"]
+
+_REPLAY_COST_PER_RECORD_MS = 0.02
+_REGION_OPEN_COST_MS = 5.0
+
+
+def task_from_wal_record(record: WalRecord) -> Optional[IndexTask]:
+    """Rebuild the AUQ task for one replayed base mutation.
+
+    A record whose cells are all tombstones was a row delete; mixed or
+    value cells reconstruct the put's column map.  ``index_names=None``
+    targets every index of the table — re-delivery is idempotent, so over-
+    covering sync indexes is safe and also repairs any sync index op the
+    crash interrupted before its ack.
+    """
+    if not record.indexed or not record.cells:
+        return None
+    values: Dict[str, bytes] = {}
+    row = None
+    ts = record.cells[0].ts
+    all_tombstones = True
+    for cell in record.cells:
+        if is_reserved_key(cell.key):
+            # Local-index cells ride in the same record as their base put
+            # (crash atomicity); they replay as plain cells and need no
+            # AUQ task.
+            continue
+        row, qualifier = split_cell_key(cell.key)
+        if cell.value is not None:
+            values[qualifier] = cell.value
+            all_tombstones = False
+    if row is None:
+        return None
+    if all_tombstones:
+        return IndexTask(record.table, row, None, ts)
+    return IndexTask(record.table, row, values, ts)
+
+
+def recover_server(cluster: "MiniCluster", dead: "RegionServer",
+                   ) -> Generator[Any, Any, int]:
+    """Reassign and replay every region of ``dead``.  Returns the number
+    of regions recovered."""
+    hdfs = cluster.hdfs
+    master = cluster.master
+    wal_split = {}
+    if hdfs.has_wal(dead.name):
+        records = hdfs.wal_records(dead.name)
+        for record in records:
+            wal_split.setdefault(record.region_name, []).append(record)
+
+    recovered = 0
+    for info in master.regions_on(dead.name):
+        target = _pick_target(cluster, dead)
+        descriptor = master.descriptor(info.table)
+        region = Region(info.region_name, descriptor, info.key_range,
+                        seed=recovered + 1)
+        # (3) re-link flushed store files.
+        region.tree.adopt_sstables(hdfs.store_files(info.table,
+                                                    info.region_name))
+        target.add_region(region)
+        yield Timeout(_REGION_OPEN_COST_MS)
+
+        # (4)+(5) replay the WAL slice.
+        replayed = wal_split.get(info.region_name, [])
+        for record in replayed:
+            new_record = target.wal.append(region.name, record.table,
+                                           record.cells,
+                                           indexed=record.indexed)
+            region.tree.add_many(record.cells, seqno=new_record.seqno)
+            task = task_from_wal_record(record)
+            if task is not None:
+                task.enqueued_at = cluster.sim.now()
+                target.auq.put(task)
+        if replayed:
+            yield Timeout(len(replayed) * _REPLAY_COST_PER_RECORD_MS)
+
+        master.reassign(info, target.name)
+        recovered += 1
+
+    hdfs.delete_wal(dead.name)
+    return recovered
+
+
+def _pick_target(cluster: "MiniCluster", dead: "RegionServer",
+                 ) -> "RegionServer":
+    candidates = [s for s in cluster.servers.values()
+                  if s.alive and s.name != dead.name]
+    if not candidates:
+        raise RuntimeError("no live server available for recovery")
+    # Least-loaded placement keeps the post-recovery layout balanced.
+    return min(candidates, key=lambda s: len(s.regions))

@@ -1,0 +1,622 @@
+"""The region server: request handling, AUQ/APS, flush & compaction loops.
+
+This is the HBase RegionServer of §2.2 with the Diff-Index server-side
+components of §7 attached: when a put arrives it is timestamped, written
+to the WAL on SimHDFS, applied to the memtable, and then the registered
+coprocessors run (synchronous index maintenance inline, asynchronous
+enqueue into the AUQ).  Background processes per server:
+
+* ``aps_worker`` × N — drain the AUQ (Algorithm 4);
+* ``maintenance_loop`` — flush memtables over threshold, following the
+  drain-AUQ-before-flush recovery protocol (Figure 5), then trigger
+  compactions;
+* ``heartbeat_loop`` — liveness signal for the coordinator.
+
+Queueing model: each request occupies one *handler* slot for its whole
+lifetime (HBase handler threads); random reads occupy the *disk*; WAL
+appends serialise on the *log* device.  Saturating any of these produces
+the latency growth in Figures 7/8 and the AUQ backlog of Figure 11.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import NoSuchRegionError, ServerDownError
+from repro.core.auq import IndexTask, aps_worker
+from repro.core.coprocessor import IndexOpContext
+from repro.core.local import (is_reserved_key, local_scan_range,
+                              plan_local_index_cells)
+from repro.core.observers import build_observers
+from repro.lsm.cache import BlockCache
+from repro.lsm.tree import ReadStats
+from repro.lsm.types import Cell, KeyRange
+from repro.lsm.wal import WriteAheadLog
+from repro.cluster.region import Region, compose_cell_key
+from repro.cluster.table import TableDescriptor
+from repro.sim.kernel import Timeout
+from repro.sim.resources import AsyncQueue, Gate, Latch, Resource, use
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+
+__all__ = ["ServerConfig", "RegionServer"]
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    num_handlers: int = 10
+    num_aps_workers: int = 2
+    aps_batch_size: int = 16
+    disk_parallelism: int = 2
+    block_cache_bytes: int = 2 * 1024 * 1024
+    maintenance_interval_ms: float = 50.0
+    heartbeat_interval_ms: float = 500.0
+    # Recovery-protocol knobs (ablations; see DESIGN.md §5).
+    drain_auq_before_flush: bool = True
+    # strict: the AUQ intake gate stays closed through the flush I/O, as in
+    # Figure 5; if False it reopens right after the memtable is sealed
+    # (safe: post-seal puts survive the WAL roll-forward).
+    strict_flush_gate: bool = False
+
+
+class RegionServer:
+    def __init__(self, name: str, cluster: "MiniCluster",
+                 config: Optional[ServerConfig] = None):
+        self.name = name
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config or ServerConfig()
+        self.alive = True
+
+        self.regions: Dict[str, Region] = {}
+        self.cache = BlockCache(self.config.block_cache_bytes)
+        self.wal = WriteAheadLog(cluster.hdfs.create_wal(name))
+
+        # Devices.  Index-table ops get their own handler pool: a put
+        # handler blocks on remote index puts, so sharing one pool would
+        # deadlock two servers whose put handlers wait on each other — the
+        # cross-coprocessor-RPC hazard HBase avoids with priority queues.
+        self.handlers = Resource(self.sim, self.config.num_handlers,
+                                 name=f"{name}/handlers")
+        self.index_handlers = Resource(self.sim, self.config.num_handlers,
+                                       name=f"{name}/index-handlers")
+        self.disk = Resource(self.sim, self.config.disk_parallelism,
+                             name=f"{name}/disk")
+        self.log_device = Resource(self.sim, 1, name=f"{name}/log")
+
+        # Diff-Index server-side state.
+        self.auq = AsyncQueue(self.sim, name=f"{name}/auq")
+        self.auq_gate = Gate(self.sim, name=f"{name}/auq-gate")
+        # Operator toggle: closing this gate suspends APS processing while
+        # the queue keeps accepting work — used by tests and demos to hold
+        # a staleness window open deterministically.
+        self.aps_gate = Gate(self.sim, name=f"{name}/aps-gate")
+        self.auq_inflight = Latch(self.sim, name=f"{name}/auq-inflight")
+        self.put_inflight = Latch(self.sim, name=f"{name}/put-inflight")
+        self.op_context = IndexOpContext(self)
+        self.staleness = cluster.staleness
+        self.aps_retries = 0
+
+        # Monotonic per-server timestamps: System.currentTimeMillis() is
+        # non-decreasing; we additionally break ties so that two writes to
+        # the same row (serialised by its row lock) never share a ts,
+        # keeping the δ arithmetic of §4.3 exact.
+        self._last_ts = 0
+
+        self.last_heartbeat = self.sim.now()
+        self.flushes_completed = 0
+        self.compactions_completed = 0
+        self.flush_gate_wait_ms = 0.0    # total put-path delay from drains
+
+        self._background: List[Any] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegionServer {self.name} regions={len(self.regions)}>"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        for worker_id in range(self.config.num_aps_workers):
+            self._background.append(self.sim.spawn(
+                aps_worker(self, worker_id), name=f"{self.name}/aps{worker_id}"))
+        self._background.append(self.sim.spawn(
+            self._maintenance_loop(), name=f"{self.name}/maintenance"))
+        self._background.append(self.sim.spawn(
+            self._heartbeat_loop(), name=f"{self.name}/heartbeat"))
+
+    def kill(self) -> None:
+        """Crash: memtables and AUQ contents die with the process; the WAL
+        and flushed store files survive in SimHDFS."""
+        self.alive = False
+        # Release APS workers parked on the queue so they observe death.
+        for _ in range(self.config.num_aps_workers):
+            self.auq.put(None)
+
+    # -- region hosting -------------------------------------------------------
+
+    def add_region(self, region: Region) -> None:
+        region.tree.cache = self.cache
+        self.regions[region.name] = region
+
+    def remove_region(self, region_name: str) -> Optional[Region]:
+        return self.regions.pop(region_name, None)
+
+    def region_for(self, table: str, row: bytes) -> Optional[Region]:
+        for region in self.regions.values():
+            if region.table.name == table and region.contains_row(row):
+                return region
+        return None
+
+    def _require_region(self, table: str, row: bytes) -> Region:
+        region = self.region_for(table, row)
+        if region is None:
+            raise NoSuchRegionError(
+                f"{self.name} hosts no region of {table!r} for {row!r}")
+        return region
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise ServerDownError(f"{self.name} is down")
+
+    # -- timestamps ------------------------------------------------------------
+
+    def assign_timestamp(self) -> int:
+        # Per-server monotonic milliseconds, like currentTimeMillis() with
+        # same-ms ties broken locally.  (A cluster-WIDE tie-break would be
+        # wrong: above ~1000 puts/s it would outrun the wall clock and
+        # distort every T2−T1 staleness measurement.)
+        ts = max(int(self.sim.now()), self._last_ts + 1)
+        self._last_ts = ts
+        if ts > self.cluster.ts_floor:
+            self.cluster.ts_floor = ts
+        return ts
+
+    def assign_repair_timestamp(self) -> int:
+        """A timestamp strictly above every timestamp ever assigned in the
+        cluster — used by repair inserts, which must out-rank a tombstone
+        another server may have written at its own 'future' time."""
+        ts = max(int(self.sim.now()), self._last_ts + 1,
+                 self.cluster.ts_floor + 1)
+        self._last_ts = ts
+        self.cluster.ts_floor = ts
+        return ts
+
+    # -- cost charging -----------------------------------------------------------
+
+    def charge_read(self, stats: ReadStats) -> Generator[Any, Any, None]:
+        """Convert a read's ReadStats into simulated service time."""
+        model = self.cluster.model
+        if stats.blocks_from_disk:
+            yield from use(self.disk,
+                           stats.blocks_from_disk * model._v(model.disk_read_ms))
+        cheap = model.read_cost(0, stats.blocks_from_cache, stats.bloom_probes,
+                                stats.memtable_probes)
+        if cheap > 0:
+            yield Timeout(cheap)
+
+    def local_read_row(self, region: Region, row: bytes,
+                       columns: Optional[List[str]], max_ts: Optional[int],
+                       background: bool,
+                       ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        stats = ReadStats()
+        result = region.read_row(row, columns, max_ts=max_ts, stats=stats)
+        yield from self.charge_read(stats)
+        counters = self.cluster.counters
+        counters.incr("async_base_read" if background else "base_read")
+        return result
+
+    # ======================================================================
+    # RPC handlers (run inside a handler slot; invoked via Network.call)
+    # ======================================================================
+
+    def _with_handler(self, body, pool: Optional[Resource] = None,
+                      ) -> Generator[Any, Any, Any]:
+        self._check_alive()
+        pool = pool or self.handlers
+        yield pool.acquire()
+        try:
+            yield Timeout(self.cluster.model._v(self.cluster.model.rpc_cpu_ms))
+            result = yield from body()
+            return result
+        finally:
+            pool.release()
+
+    # -- base-table writes -------------------------------------------------------
+
+    @staticmethod
+    def _check_row_key(row: bytes) -> None:
+        """Row keys must stay out of the reserved (leading-0x00) keyspace
+        that hosts local-index entries, and must not be empty."""
+        if not row:
+            from repro.errors import ClusterError
+            raise ClusterError("empty row key")
+        if row.startswith(b"\x00"):
+            from repro.errors import ClusterError
+            raise ClusterError(
+                f"row keys must not start with 0x00 (reserved): {row!r}")
+
+    def _gate_entry(self, table: str) -> Generator[Any, Any, bool]:
+        """Wait out a pre-flush drain BEFORE taking a handler slot (waiting
+        inside the slot would let gated puts starve the APS deliveries the
+        drain itself is waiting for).  Returns True when the caller was
+        admitted and must decrement ``put_inflight`` when done."""
+        if not self.cluster.descriptor(table).has_indexes:
+            return False
+        if not self.auq_gate.is_open:
+            wait_start = self.sim.now()
+            yield self.auq_gate.wait_open()
+            self.flush_gate_wait_ms += self.sim.now() - wait_start
+        self.put_inflight.increment()
+        return True
+
+    def handle_put(self, table: str, row: bytes, values: Dict[str, bytes],
+                   return_old: bool = False,
+                   ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
+        """The write path: WAL → memtable → coprocessors → ack (§2.2, Alg. 1/3).
+
+        Returns ``(ts, old_values)``; ``old_values`` is only read (and only
+        for the indexed columns) when ``return_old`` — the extra base read
+        session consistency pays for (§5.2).
+        """
+        self._check_row_key(row)
+        gated = yield from self._gate_entry(table)
+        try:
+            return (yield from self._with_handler(
+                lambda: self._put_body(table, row, values, return_old)))
+        finally:
+            if gated:
+                self.put_inflight.decrement()
+
+    def _put_body(self, table: str, row: bytes, values: Dict[str, bytes],
+                  return_old: bool,
+                  ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
+        region = self._require_region(table, row)
+        descriptor = region.table
+        model = self.cluster.model
+        yield region.locks.acquire(row)
+        try:
+            ts = self.assign_timestamp()
+
+            old_values: Optional[Dict[str, Tuple[bytes, int]]] = None
+            if return_old:
+                columns = descriptor.indexed_columns()
+                if columns:
+                    old_values = yield from self.local_read_row(
+                        region, row, columns, max_ts=ts - 1, background=False)
+
+            cells = tuple(Cell(compose_cell_key(row, col), ts, value)
+                          for col, value in sorted(values.items()))
+            local_indexes = [ix for ix in descriptor.indexes.values()
+                             if ix.is_local]
+            if local_indexes:
+                # Local-index cells ride in the SAME WAL record as the base
+                # put: the index is crash-atomic with its row (§3.1 —
+                # co-location pays off here).
+                extra = yield from plan_local_index_cells(
+                    self, region, row, values, ts, local_indexes)
+                cells = cells + tuple(extra)
+            record = self.wal.append(region.name, table, cells,
+                                     indexed=descriptor.has_indexes)
+            yield from use(self.log_device, model.wal_append())
+            region.tree.add_many(cells, seqno=record.seqno)
+            yield Timeout(model.memtable_op() * len(cells))
+            self.cluster.counters.incr("base_put")
+
+            for observer in self.cluster.observers_for(table):
+                yield from observer.post_put(self, descriptor, row, values, ts)
+            return ts, old_values
+        finally:
+            region.locks.release(row)
+
+    def handle_delete(self, table: str, row: bytes, columns: List[str],
+                      return_old: bool = False,
+                      ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
+        """Row delete: a tombstone per column plus index maintenance —
+        "deletion is handled similarly as put in LSM" (§4.3)."""
+        self._check_row_key(row)
+        gated = yield from self._gate_entry(table)
+        try:
+            return (yield from self._with_handler(
+                lambda: self._delete_body(table, row, columns, return_old)))
+        finally:
+            if gated:
+                self.put_inflight.decrement()
+
+    def _delete_body(self, table: str, row: bytes, columns: List[str],
+                     return_old: bool,
+                     ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
+        region = self._require_region(table, row)
+        descriptor = region.table
+        model = self.cluster.model
+        yield region.locks.acquire(row)
+        try:
+            ts = self.assign_timestamp()
+            old_values: Optional[Dict[str, Tuple[bytes, int]]] = None
+            if return_old:
+                indexed = descriptor.indexed_columns()
+                if indexed:
+                    old_values = yield from self.local_read_row(
+                        region, row, indexed, max_ts=ts - 1, background=False)
+            cells = tuple(Cell(compose_cell_key(row, col), ts, None)
+                          for col in sorted(columns))
+            local_indexes = [ix for ix in descriptor.indexes.values()
+                             if ix.is_local]
+            if local_indexes:
+                extra = yield from plan_local_index_cells(
+                    self, region, row, None, ts, local_indexes)
+                cells = cells + tuple(extra)
+            record = self.wal.append(region.name, table, cells,
+                                     indexed=descriptor.has_indexes)
+            yield from use(self.log_device, model.wal_append())
+            region.tree.add_many(cells, seqno=record.seqno)
+            yield Timeout(model.memtable_op() * len(cells))
+            self.cluster.counters.incr("base_put")
+
+            for observer in self.cluster.observers_for(table):
+                yield from observer.post_delete(self, descriptor, row, ts)
+            return ts, old_values
+        finally:
+            region.locks.release(row)
+
+    # -- base-table reads -----------------------------------------------------
+
+    def handle_get(self, table: str, row: bytes,
+                   columns: Optional[List[str]] = None,
+                   max_ts: Optional[int] = None, background: bool = False,
+                   ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        return (yield from self._with_handler(
+            lambda: self._get_body(table, row, columns, max_ts, background)))
+
+    def _get_body(self, table, row, columns, max_ts, background):
+        region = self._require_region(table, row)
+        result = yield from self.local_read_row(region, row, columns, max_ts,
+                                                background=background)
+        return result
+
+    def handle_scan(self, table: str, key_range: KeyRange,
+                    limit: Optional[int] = None,
+                    ) -> Generator[Any, Any, List[Cell]]:
+        """Range scan over one region's slice of ``key_range``."""
+        return (yield from self._with_handler(
+            lambda: self._scan_body(table, key_range, limit)))
+
+    def _scan_body(self, table, key_range, limit):
+        regions = [r for r in self.regions.values()
+                   if r.table.name == table
+                   and r.key_range.overlaps(key_range)]
+        if not regions:
+            raise NoSuchRegionError(
+                f"{self.name} hosts no region of {table!r} in {key_range!r}")
+        out: List[Cell] = []
+        for region in sorted(regions, key=lambda r: r.key_range.start):
+            stats = ReadStats()
+            cells = region.scan_rows(key_range, limit=limit, stats=stats)
+            yield Timeout(self.cluster.model._v(
+                self.cluster.model.scan_open_ms))
+            yield from self.charge_read(stats)
+            out.extend(cells)
+            if limit is not None and len(out) >= limit:
+                out = out[:limit]
+                break
+        if not self.cluster.descriptor(table).is_index:
+            self.cluster.counters.incr("base_read")
+        return out
+
+    # -- index-table operations ---------------------------------------------------
+
+    def handle_index_put(self, table: str, index_key: bytes, ts: int,
+                         background: bool = False,
+                         ) -> Generator[Any, Any, None]:
+        yield from self._with_handler(
+            lambda: self._index_put_body(table, index_key, ts, background),
+            pool=self.index_handlers)
+
+    def _index_put_body(self, table, index_key, ts, background):
+        region = self._require_region(table, index_key)
+        model = self.cluster.model
+        record = self.wal.append(region.name, table,
+                                 (Cell(index_key, ts, b""),))
+        yield from use(self.log_device, model.wal_append())
+        region.tree.add(Cell(index_key, ts, b""), seqno=record.seqno)
+        yield Timeout(model.memtable_op())
+        self.cluster.counters.incr(
+            "async_index_put" if background else "index_put")
+
+    def handle_index_delete(self, table: str, index_key: bytes, ts: int,
+                            background: bool = False,
+                            ) -> Generator[Any, Any, None]:
+        yield from self._with_handler(
+            lambda: self._index_delete_body(table, index_key, ts, background),
+            pool=self.index_handlers)
+
+    def _index_delete_body(self, table, index_key, ts, background):
+        region = self._require_region(table, index_key)
+        model = self.cluster.model
+        record = self.wal.append(region.name, table,
+                                 (Cell(index_key, ts, None),))
+        yield from use(self.log_device, model.wal_append())
+        region.tree.add(Cell(index_key, ts, None), seqno=record.seqno)
+        yield Timeout(model.memtable_op())
+        self.cluster.counters.incr(
+            "async_index_delete" if background else "index_delete")
+
+    def handle_index_ops(self, ops: List[Tuple[str, str, bytes, int]],
+                         background: bool = True,
+                         ) -> Generator[Any, Any, None]:
+        """Apply a batch of index puts/deletes under one handler slot and
+        one group-committed WAL write (the APS batching path)."""
+        # Batched APS deliveries compete for the REGULAR handler pool:
+        # the "background AUQ competes for system resource" effect of
+        # §8.2.  This is deadlock-safe — the APS holds no handler while
+        # calling out, unlike the synchronous put path (whose index ops
+        # stay on the dedicated pool).
+        yield from self._with_handler(
+            lambda: self._index_ops_body(ops, background))
+
+    def _index_ops_body(self, ops, background):
+        model = self.cluster.model
+        counters = self.cluster.counters
+        for kind, table, key, ts in ops:
+            region = self._require_region(table, key)
+            value = b"" if kind == "put" else None
+            cell = Cell(key, ts, value)
+            record = self.wal.append(region.name, table, (cell,))
+            region.tree.add(cell, seqno=record.seqno)
+            if kind == "put":
+                counters.incr("async_index_put" if background
+                              else "index_put")
+            else:
+                counters.incr("async_index_delete" if background
+                              else "index_delete")
+        # Group commit: one sequential write covers the whole batch; the
+        # per-record cost beyond the first is the marginal buffer copy.
+        group_cost = (model.wal_append()
+                      + (len(ops) - 1) * model.memtable_op())
+        yield from use(self.log_device, group_cost)
+        yield Timeout(model.memtable_op() * len(ops))
+
+    def handle_index_scan(self, table: str, key_range: KeyRange,
+                          limit: Optional[int] = None,
+                          ) -> Generator[Any, Any, List[Cell]]:
+        """RI: read matching index entries (key-only cells with base ts)."""
+        return (yield from self._with_handler(
+            lambda: self._index_scan_body(table, key_range, limit)))
+
+    def _index_scan_body(self, table, key_range, limit):
+        result = yield from self._scan_body(table, key_range, limit)
+        self.cluster.counters.incr("index_read")
+        return result
+
+    def handle_local_index_scan(self, table: str, index_name: str,
+                                inner_range: KeyRange,
+                                limit: Optional[int] = None,
+                                ) -> Generator[Any, Any, List[Cell]]:
+        """Scan one server's slice of a LOCAL index: every hosted region
+        of the base table contributes its reserved-keyspace entries.
+        The broadcast nature of local-index reads (§3.1) comes from the
+        client having to call this on EVERY region."""
+        return (yield from self._with_handler(
+            lambda: self._local_index_scan_body(table, index_name,
+                                                inner_range, limit),
+            pool=self.index_handlers))
+
+    def _local_index_scan_body(self, table, index_name, inner_range, limit):
+        reserved = local_scan_range(index_name, inner_range)
+        out: List[Cell] = []
+        regions = [r for r in self.regions.values()
+                   if r.table.name == table]
+        if not regions:
+            raise NoSuchRegionError(
+                f"{self.name} hosts no region of {table!r}")
+        for region in sorted(regions, key=lambda r: r.key_range.start):
+            stats = ReadStats()
+            cells = region.tree.scan(reserved, limit=limit, stats=stats)
+            yield Timeout(self.cluster.model._v(
+                self.cluster.model.scan_open_ms))
+            yield from self.charge_read(stats)
+            out.extend(cells)
+        self.cluster.counters.incr("index_read")
+        if limit is not None:
+            out = out[:limit]
+        return out
+
+    # -- AUQ ----------------------------------------------------------------------
+
+    def enqueue_index_task(self, task: IndexTask) -> Generator[Any, Any, None]:
+        """AU1 second half: queue the index work.
+
+        The intake gate is checked once, at put entry — a put that passed
+        it must NOT wait here again (the drain barrier is already waiting
+        for this very put via ``put_inflight``, so a second wait would
+        deadlock the flush).  The barrier ordering stays sound: the drain
+        waits for in-flight puts *before* checking queue emptiness, so an
+        entry enqueued by an admitted put is always seen."""
+        yield Timeout(self.cluster.model._v(self.cluster.model.auq_enqueue_ms))
+        self.auq.put(task)
+
+    def degrade_to_auq(self, task: IndexTask) -> None:
+        """§6.2: a failed synchronous index op is queued for retry; causal
+        consistency degrades to eventual for this entry.  Bypasses the
+        intake gate — blocking here would deadlock the very drain that
+        closed the gate (the failed op may come from an APS worker's peer)."""
+        self.cluster.counters_degraded += 1
+        self.auq.put(task)
+
+    def drain_auq(self) -> Generator[Any, Any, None]:
+        """Figure 5 step 1: pause intake and wait until the AUQ is empty
+        and no task is mid-flight."""
+        self.auq_gate.close()
+        yield self.put_inflight.wait_zero()
+        yield self.auq.wait_empty()
+        yield self.auq_inflight.wait_zero()
+
+    # -- background maintenance -----------------------------------------------------
+
+    def _maintenance_loop(self) -> Generator[Any, Any, None]:
+        while self.alive:
+            yield Timeout(self.config.maintenance_interval_ms)
+            if not self.alive:
+                return
+            for region in list(self.regions.values()):
+                if not self.alive:
+                    return
+                if region.tree.needs_flush and not region.flushing:
+                    yield from self.flush_region(region)
+                if region.tree.needs_compaction:
+                    yield from self.compact_region(region)
+
+    def flush_region(self, region: Region) -> Generator[Any, Any, None]:
+        """The §5.3 flush protocol: 1. pause & drain, 2. flush, 3. roll WAL."""
+        if region.flushing or not self.alive:
+            return
+        region.flushing = True
+        model = self.cluster.model
+        try:
+            # The preFlush coprocessor hook (Figure 5): registered
+            # observers may run arbitrary pre-flush work here.
+            for observer in self.cluster.observers_for(region.table.name):
+                yield from observer.pre_flush(self, region.name)
+            drained = False
+            # Only a base table with indexes can have pending AUQ work whose
+            # WAL records this flush would roll away; index-table flushes
+            # need no drain.
+            if self.config.drain_auq_before_flush and region.table.has_indexes:
+                yield from self.drain_auq()
+                drained = True
+            handle = region.tree.prepare_flush()
+            if drained and not self.config.strict_flush_gate:
+                # Safe early reopen: puts from here on hit the new memtable
+                # and their WAL records outlive the roll-forward below.
+                self.auq_gate.open()
+                drained = False
+            if handle is not None:
+                yield from use(self.disk,
+                               model.flush_cost(len(handle.memtable)))
+                region.tree.complete_flush(handle)
+                self.cluster.hdfs.set_store_files(
+                    region.table.name, region.name, region.tree._sstables)
+                self.wal.roll_forward(region.name, handle.wal_seqno)
+                self.flushes_completed += 1
+            if drained:
+                self.auq_gate.open()
+        finally:
+            if not self.auq_gate.is_open:
+                self.auq_gate.open()
+            region.flushing = False
+
+    def compact_region(self, region: Region) -> Generator[Any, Any, None]:
+        result = region.tree.compact()
+        if result is None:
+            return
+        yield from use(self.disk,
+                       self.cluster.model.compact_cost(result.cells_read))
+        self.cluster.hdfs.set_store_files(
+            region.table.name, region.name, region.tree._sstables)
+        self.compactions_completed += 1
+
+    def _heartbeat_loop(self) -> Generator[Any, Any, None]:
+        while self.alive:
+            self.last_heartbeat = self.sim.now()
+            yield Timeout(self.config.heartbeat_interval_ms)

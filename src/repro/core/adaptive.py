@@ -1,0 +1,142 @@
+"""Adaptive scheme selection — the paper's stated future work (§10):
+"In future work we plan to investigate workload-aware scheme selection."
+
+The controller implements exactly the decision structure §3.4 sketches:
+the application *declares* the weakest consistency it can tolerate (that
+cannot be observed from the workload), and the controller observes the
+workload — read/write ratio over a sliding window — to pick the best
+scheme *within* that consistency class:
+
+* class CAUSAL (or stronger): choose between sync-full and sync-insert —
+  sync-insert when updates dominate (its read penalty is paid rarely),
+  sync-full when reads dominate;
+* class EVENTUAL / SESSION: async when updates dominate, sync-full when
+  reads dominate (a consistent index read is also the cheapest read, so
+  a read-heavy eventual workload still prefers it);
+* read-your-writes requirement pins async-session.
+
+Switching is performed through
+:meth:`repro.cluster.cluster.MiniCluster.change_index_scheme`, which
+scrubs stale entries when moving from a lazily-repaired scheme to one
+whose reads do not double-check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.schemes import ConsistencyLevel, IndexScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+
+__all__ = ["AdaptivePolicy", "AdaptiveController", "Decision"]
+
+
+@dataclasses.dataclass
+class AdaptivePolicy:
+    """Tunables for the §3.4-style decision rule."""
+
+    # Above this fraction of updates, the workload is "update-dominated".
+    write_heavy_threshold: float = 0.7
+    # Below this fraction of updates, it is "read-dominated".
+    read_heavy_threshold: float = 0.3
+    window_ops: int = 200           # sliding window size
+    min_ops_to_act: int = 50        # don't flap on tiny samples
+    cooldown_ops: int = 100         # ops between consecutive switches
+
+
+@dataclasses.dataclass
+class Decision:
+    index_name: str
+    current: IndexScheme
+    recommended: IndexScheme
+    update_fraction: float
+    acted: bool
+
+    @property
+    def is_switch(self) -> bool:
+        return self.recommended is not self.current
+
+
+class AdaptiveController:
+    """Per-index workload monitor + scheme switcher."""
+
+    def __init__(self, cluster: "MiniCluster", index_name: str,
+                 required_consistency: ConsistencyLevel,
+                 needs_read_your_writes: bool = False,
+                 policy: Optional[AdaptivePolicy] = None):
+        self.cluster = cluster
+        self.index_name = index_name
+        self.required_consistency = required_consistency
+        self.needs_read_your_writes = needs_read_your_writes
+        self.policy = policy or AdaptivePolicy()
+        self._window: Deque[str] = deque(maxlen=self.policy.window_ops)
+        self._ops_since_switch = 0
+        self.switches: list = []
+
+    # -- observation hooks (call from the application / driver) ---------------
+
+    def observe_update(self) -> None:
+        self._window.append("update")
+        self._ops_since_switch += 1
+
+    def observe_read(self) -> None:
+        self._window.append("read")
+        self._ops_since_switch += 1
+
+    @property
+    def update_fraction(self) -> float:
+        if not self._window:
+            return 0.5
+        return sum(1 for op in self._window if op == "update") \
+            / len(self._window)
+
+    # -- decision --------------------------------------------------------------
+
+    def _candidates(self) -> Tuple[IndexScheme, ...]:
+        if self.needs_read_your_writes:
+            return (IndexScheme.ASYNC_SESSION,)
+        if self.required_consistency in (ConsistencyLevel.CAUSAL,
+                                         ConsistencyLevel.CAUSAL_READ_REPAIR):
+            return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT)
+        return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT,
+                IndexScheme.ASYNC_SIMPLE)
+
+    def recommend(self) -> IndexScheme:
+        candidates = self._candidates()
+        if len(candidates) == 1:
+            return candidates[0]
+        fraction = self.update_fraction
+        if fraction >= self.policy.write_heavy_threshold:
+            # Update latency is what matters: the cheapest allowed update
+            # path (§3.4 principle (3)/(4)).
+            if IndexScheme.ASYNC_SIMPLE in candidates:
+                return IndexScheme.ASYNC_SIMPLE
+            return IndexScheme.SYNC_INSERT
+        if fraction <= self.policy.read_heavy_threshold:
+            # Read latency is what matters (§3.4 principle (2)).
+            return IndexScheme.SYNC_FULL
+        # Mixed zone: keep the current scheme (hysteresis).
+        return self.current_scheme()
+
+    def current_scheme(self) -> IndexScheme:
+        return self.cluster.index_descriptor(self.index_name).scheme
+
+    def evaluate(self) -> Decision:
+        """Recommend and, if warranted, perform the switch."""
+        current = self.current_scheme()
+        recommended = self.recommend()
+        decision = Decision(self.index_name, current, recommended,
+                            self.update_fraction, acted=False)
+        if (recommended is current
+                or len(self._window) < self.policy.min_ops_to_act
+                or self._ops_since_switch < self.policy.cooldown_ops):
+            return decision
+        self.cluster.change_index_scheme(self.index_name, recommended)
+        self._ops_since_switch = 0
+        self.switches.append((self.cluster.sim.now(), current, recommended))
+        decision.acted = True
+        return decision

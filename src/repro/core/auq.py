@@ -1,0 +1,260 @@
+"""Asynchronous Update Queue (AUQ) and Asynchronous Processing Service (APS).
+
+The async schemes acknowledge a put as soon as the base write is logged
+and an :class:`IndexTask` is queued (Algorithm 3); APS workers drain the
+queue in the background and run the index maintenance steps (Algorithm 4:
+RB at ``t_new − δ``, delete old entry, insert new entry).  The AUQ also
+receives *failed* synchronous index operations — the paper's §6.2
+durability degradation: a sync-full put whose index RPC fails is not
+rolled back, its maintenance is retried here until it succeeds.
+
+The shared maintenance routine :func:`maintain_indexes` is used by both
+the synchronous observers and the APS so the two paths cannot drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import RpcError
+from repro.core.index import extract_index_values, row_index_key
+from repro.core.schemes import IndexScheme
+from repro.lsm.types import DELTA_MS
+from repro.sim.kernel import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coprocessor import IndexOpContext
+
+__all__ = ["IndexTask", "maintain_indexes", "aps_worker",
+           "APS_RETRY_BACKOFF_MS", "APS_RETRY_BACKOFF_CAP_MS"]
+
+APS_RETRY_BACKOFF_MS = 5.0
+APS_RETRY_BACKOFF_CAP_MS = 80.0
+
+
+@dataclasses.dataclass
+class IndexTask:
+    """One base mutation awaiting (re-)execution of its index maintenance.
+
+    ``new_values is None`` encodes a row delete: in LSM "deletion can be
+    treated as a put with a null value and a timestamp" (§4.3), so the
+    task only removes old entries.
+    """
+
+    table: str
+    row: bytes
+    new_values: Optional[Dict[str, bytes]]
+    ts: int                       # the base entry's timestamp (the paper's T1)
+    enqueued_at: float = 0.0
+    # Restrict maintenance to these indexes (schemes are chosen per index,
+    # §3.4, so one put may fan out into one task per scheme group).  None
+    # means every index of the table — used by crash-replay re-delivery.
+    index_names: Optional[Tuple[str, ...]] = None
+
+
+def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
+                     background: bool, insert_first: bool,
+                     ) -> Generator[Any, Any, None]:
+    """Run PI / RB / DI for every index the mutation touches.
+
+    ``insert_first`` selects the statement order: the synchronous path
+    follows Algorithm 1 (SU2 insert, SU3 read, SU4 delete); the APS
+    follows Algorithm 4 (BA2 read, BA3 delete, BA4 insert).  Both orders
+    converge because entries carry base timestamps.
+
+    Raises :class:`RpcError` if any step ultimately fails — the caller
+    decides whether to queue a retry (sync path) or back off (APS).
+    """
+    descriptor = ctx.table_descriptor(task.table)
+    touched = []
+    for index in descriptor.indexes.values():
+        if index.is_local:
+            continue  # local indexes are maintained inside the put record
+        if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if task.new_values is None:
+            touched.append(index)  # row delete affects every index
+        elif any(col in task.new_values for col in index.columns):
+            touched.append(index)
+    if not touched:
+        return
+
+    inserts = []
+    if task.new_values is not None:
+        for index in touched:
+            new_tuple = extract_index_values(index, task.new_values)
+            if new_tuple is not None:
+                inserts.append(
+                    (index, row_index_key(index, new_tuple, task.row)))
+
+    if insert_first:
+        for index, key in inserts:                                  # SU2
+            yield from ctx.index_put(index.table_name, key, task.ts,
+                                     background=background)
+
+    # One base read covers every index (Table 2: sync-full pays 1 Base Read).
+    columns = sorted({col for index in touched for col in index.columns})
+    old_row = yield from ctx.base_read(                              # SU3/BA2
+        task.table, task.row, columns, max_ts=task.ts - DELTA_MS,
+        background=background)
+    old_values = {col: value for col, (value, _ts) in old_row.items()}
+
+    for index in touched:                                            # SU4/BA3
+        old_tuple = extract_index_values(index, old_values)
+        if old_tuple is None:
+            continue
+        old_key = row_index_key(index, old_tuple, task.row)
+        yield from ctx.index_delete(index.table_name, old_key,
+                                    task.ts - DELTA_MS, background=background)
+
+    if not insert_first:
+        for index, key in inserts:                                  # BA4
+            yield from ctx.index_put(index.table_name, key, task.ts,
+                                     background=background)
+
+
+def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
+                         ) -> Generator[Any, Any, None]:
+    """The sync-insert update path: SU1+SU2 only, skipping SU3/SU4 (§4.2).
+
+    Stale entries are left behind on purpose; the read path repairs them
+    (Algorithm 2 in :mod:`repro.core.reader`).
+    """
+    if task.new_values is None:
+        return  # a delete inserts nothing; stale entries wait for read-repair
+    descriptor = ctx.table_descriptor(task.table)
+    for index in descriptor.indexes.values():
+        if index.is_local:
+            continue  # local indexes are maintained inside the put record
+        if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if not any(col in task.new_values for col in index.columns):
+            continue
+        new_tuple = extract_index_values(index, task.new_values)
+        if new_tuple is None:
+            continue
+        key = row_index_key(index, new_tuple, task.row)
+        yield from ctx.index_put(index.table_name, key, task.ts,
+                                 background=False)
+
+
+def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
+                   ) -> Generator[Any, Any, list]:
+    """BA2 for one task: read the old row, return the DI/PI op list as
+    ``("del"|"put", index_table, key, ts)`` tuples (deletes first —
+    Algorithm 4's BA3 before BA4)."""
+    descriptor = ctx.table_descriptor(task.table)
+    touched = []
+    for index in descriptor.indexes.values():
+        if index.is_local:
+            continue  # local indexes are maintained inside the put record
+        if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if task.new_values is None or any(col in task.new_values
+                                          for col in index.columns):
+            touched.append(index)
+    if not touched:
+        return []
+
+    columns = sorted({col for index in touched for col in index.columns})
+    old_row = yield from ctx.base_read(
+        task.table, task.row, columns, max_ts=task.ts - DELTA_MS,
+        background=True)
+    old_values = {col: value for col, (value, _ts) in old_row.items()}
+
+    ops = []
+    for index in touched:
+        old_tuple = extract_index_values(index, old_values)
+        if old_tuple is not None:
+            ops.append(("del", index.table_name,
+                        row_index_key(index, old_tuple, task.row),
+                        task.ts - DELTA_MS))
+    if task.new_values is not None:
+        for index in touched:
+            new_tuple = extract_index_values(index, task.new_values)
+            if new_tuple is not None:
+                ops.append(("put", index.table_name,
+                            row_index_key(index, new_tuple, task.row),
+                            task.ts))
+    return ops
+
+
+def aps_worker(server: Any, worker_id: int) -> Generator[Any, Any, None]:
+    """One APS thread: dequeue a burst, plan each task's ops, deliver them
+    in per-target batches, repeat.
+
+    * Batching — "this moderate higher throughput is credited to the
+      batching of operations in AUQ" (§8.2): ops bound for the same
+      region server travel in one RPC and share one group-committed WAL
+      append, instead of one round trip + one log write each.
+    * Retrying inside the worker (rather than re-enqueueing) keeps the
+      task inside the in-flight latch, so the drain-before-flush barrier
+      cannot complete while any index update is still owed — preserving
+      the paper's ``PR(Flushed) = ∅`` invariant.
+    """
+    ctx = server.op_context
+    while server.alive:
+        task: Optional[IndexTask] = yield server.auq.get()
+        if task is None or not server.alive:   # woken during shutdown
+            return
+        # Count the task as in-flight from the moment it leaves the queue
+        # so backlog accounting (and the drain barrier) never lose sight
+        # of it, even while the worker is paused at the operator gate.
+        server.auq_inflight.increment()
+        batch = [task]
+        try:
+            yield server.aps_gate.wait_open()  # operator pause toggle
+            if not server.alive:
+                return
+            while (len(batch) < server.config.aps_batch_size
+                   and len(server.auq) > 0):
+                extra = server.auq.get_nowait()
+                if extra is None:
+                    break
+                batch.append(extra)
+                server.auq_inflight.increment()
+            yield from _process_batch(server, ctx, batch)
+        finally:
+            for _ in batch:
+                server.auq_inflight.decrement()
+
+
+def _process_batch(server: Any, ctx: "IndexOpContext",
+                   batch: list) -> Generator[Any, Any, None]:
+    all_ops = []
+    for task in batch:
+        ops = yield from plan_index_ops(ctx, task)
+        all_ops.extend(ops)
+
+    # Group by target server, preserving op order within a group.
+    groups: Dict[Any, list] = {}
+    for op in all_ops:
+        _kind, table, key, _ts = op
+        try:
+            target, _region = server.cluster.locate(table, key)
+        except Exception:  # noqa: BLE001 - mid-recovery; retry below
+            target = None
+        groups.setdefault(target, []).append(op)
+
+    for target, ops in groups.items():
+        backoff = APS_RETRY_BACKOFF_MS
+        while True:
+            try:
+                yield from ctx.index_ops_batch(target, ops)
+                break
+            except RpcError:
+                server.aps_retries += 1
+                yield Timeout(backoff)
+                backoff = min(backoff * 2, APS_RETRY_BACKOFF_CAP_MS)
+                if not server.alive:
+                    return
+                # Routing may have changed (recovery); re-resolve.
+                try:
+                    target, _region = server.cluster.locate(ops[0][1],
+                                                            ops[0][2])
+                except Exception:  # noqa: BLE001
+                    target = None
+    now = server.sim.now()
+    for task in batch:
+        server.staleness.record(task.ts, now)

@@ -1,0 +1,126 @@
+"""The coprocessor framework: server-side hooks and their operating context.
+
+HBase coprocessors are the extension point Diff-Index is built on (§7):
+"they listen to and intercept each data entry made to the hosting table,
+and act based on the schemes they implement."  A :class:`RegionObserver`
+registers for ``post_put`` / ``post_delete`` (inside the put RPC, after
+the base write, before the ack) and ``pre_flush`` (the pause-and-drain
+hook of Figure 5).
+
+:class:`IndexOpContext` is the toolbox handed to observers and to the
+APS: routed index puts/deletes and versioned base reads, each charged to
+the simulated devices and tallied in the Table 2 counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import NoSuchRegionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.server import RegionServer
+    from repro.cluster.table import TableDescriptor
+
+__all__ = ["RegionObserver", "IndexOpContext"]
+
+
+class RegionObserver:
+    """Base class; hooks are generator coroutines so they may do I/O."""
+
+    def post_put(self, server: "RegionServer", table: TableDescriptor,
+                 row: bytes, values: Dict[str, bytes], ts: int,
+                 ) -> Generator[Any, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def post_delete(self, server: "RegionServer", table: TableDescriptor,
+                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+        return
+        yield  # pragma: no cover
+
+    def pre_flush(self, server: "RegionServer", region_name: str,
+                  ) -> Generator[Any, Any, None]:
+        return
+        yield  # pragma: no cover
+
+
+class IndexOpContext:
+    """Server-bound executor for the primitive index-maintenance ops."""
+
+    def __init__(self, server: "RegionServer"):
+        self.server = server
+
+    # -- metadata --------------------------------------------------------------
+
+    def table_descriptor(self, table: str) -> TableDescriptor:
+        return self.server.cluster.descriptor(table)
+
+    # -- primitive operations ----------------------------------------------------
+
+    def base_read(self, table: str, row: bytes, columns: List[str],
+                  max_ts: Optional[int], background: bool,
+                  ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        """RB: versioned read of the base row.  The base region normally
+        lives on this very server (the put was routed here), so this is a
+        local LSM read; after a region move it falls back to an RPC."""
+        region = self.server.region_for(table, row)
+        if region is not None:
+            result = yield from self.server.local_read_row(
+                region, row, columns, max_ts, background=background)
+            return result
+        target_server, _region_name = self.server.cluster.locate(table, row)
+        network = self.server.cluster.network
+        result = yield from network.call(
+            target_server,
+            lambda: target_server.handle_get(table, row, columns, max_ts,
+                                             background=background))
+        return result
+
+    def _index_target(self, index_table: str, key: bytes):
+        try:
+            return self.server.cluster.locate(index_table, key)
+        except NoSuchRegionError:
+            # Mid-recovery: surface as an RPC failure so callers retry.
+            from repro.errors import RpcError
+            raise RpcError(f"no region for {index_table!r} (recovering)")
+
+    def index_put(self, index_table: str, key: bytes, ts: int,
+                  background: bool) -> Generator[Any, Any, None]:
+        """PI: insert one key-only index entry, carrying the base ts."""
+        target_server, _ = self._index_target(index_table, key)
+        if target_server is self.server:
+            yield from self.server.handle_index_put(index_table, key, ts,
+                                                    background=background)
+            return
+        yield from self.server.cluster.network.call(
+            target_server,
+            lambda: target_server.handle_index_put(index_table, key, ts,
+                                                   background=background))
+
+    def index_ops_batch(self, target: Any, ops: list,
+                        ) -> Generator[Any, Any, None]:
+        """Deliver a batch of ("put"|"del", table, key, ts) ops to one
+        server in a single RPC with one group-committed log write — the
+        AUQ batching the paper credits async's throughput edge to."""
+        if target is None:
+            from repro.errors import RpcError
+            raise RpcError("no route for batched index ops (recovering)")
+        if target is self.server:
+            yield from self.server.handle_index_ops(ops, background=True)
+            return
+        yield from self.server.cluster.network.call(
+            target, lambda: target.handle_index_ops(ops, background=True))
+
+    def index_delete(self, index_table: str, key: bytes, ts: int,
+                     background: bool) -> Generator[Any, Any, None]:
+        """DI: tombstone one index entry at ``ts`` (= base ``t_new − δ``)."""
+        target_server, _ = self._index_target(index_table, key)
+        if target_server is self.server:
+            yield from self.server.handle_index_delete(index_table, key, ts,
+                                                       background=background)
+            return
+        yield from self.server.cluster.network.call(
+            target_server,
+            lambda: target_server.handle_index_delete(index_table, key, ts,
+                                                      background=background))

@@ -1,0 +1,119 @@
+"""Dense columns (§7, footnote 1).
+
+"A dense column is a column comprising multiple fields each of which is
+with a different type and encoding.  Using dense columns, which is
+basically combining multiple columns into one, can reduce the storage
+overhead brought by a KV store like HBase."
+
+A :class:`DenseColumnCodec` packs a fixed, ordered set of typed fields
+into one column value using the memcomparable encodings (so any packed
+prefix also sorts correctly), and produces *field extractors* that let a
+secondary index be declared over a single field inside the dense column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EncodingError
+from repro.core.encoding import IndexableValue, _decode_one, encode_value
+
+__all__ = ["DenseField", "DenseColumnCodec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DenseField:
+    name: str
+    kind: str    # "bytes" | "str" | "int" | "float"
+
+    _KINDS = ("bytes", "str", "int", "float")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise EncodingError(
+                f"field {self.name!r}: unknown kind {self.kind!r}")
+
+    def check(self, value: Optional[IndexableValue]) -> None:
+        if value is None:
+            return
+        expected = {"bytes": (bytes, bytearray), "str": (str,),
+                    "int": (int,), "float": (float,)}[self.kind]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise EncodingError(
+                f"field {self.name!r} expects {self.kind}, "
+                f"got {type(value).__name__}")
+
+
+class DenseColumnCodec:
+    """Order-aware packing of N typed fields into one column value."""
+
+    def __init__(self, fields: Sequence[DenseField]):
+        if not fields:
+            raise EncodingError("a dense column needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise EncodingError("duplicate dense field names")
+        self.fields: Tuple[DenseField, ...] = tuple(fields)
+        self._index_of = {f.name: i for i, f in enumerate(fields)}
+
+    # -- packing --------------------------------------------------------------
+
+    def pack(self, values: Dict[str, Optional[IndexableValue]]) -> bytes:
+        """Encode all fields in declaration order; absent fields pack as
+        NULL (they still occupy a self-delimiting slot)."""
+        unknown = set(values) - set(self._index_of)
+        if unknown:
+            raise EncodingError(f"unknown dense fields: {sorted(unknown)}")
+        parts: List[bytes] = []
+        for field in self.fields:
+            value = values.get(field.name)
+            field.check(value)
+            parts.append(encode_value(value))
+        return b"".join(parts)
+
+    def unpack(self, packed: bytes) -> Dict[str, Optional[IndexableValue]]:
+        out: Dict[str, Optional[IndexableValue]] = {}
+        offset = 0
+        for field in self.fields:
+            value, offset = _decode_one(packed, offset)
+            out[field.name] = value
+        if offset != len(packed):
+            raise EncodingError("trailing bytes after dense column")
+        return out
+
+    def unpack_field(self, packed: bytes, name: str) -> Optional[IndexableValue]:
+        """Decode just one field (skipping the self-delimiting prefixes)."""
+        if name not in self._index_of:
+            raise EncodingError(f"unknown dense field {name!r}")
+        offset = 0
+        for field in self.fields:
+            value, offset = _decode_one(packed, offset)
+            if field.name == name:
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- index integration -------------------------------------------------------
+
+    def field_extractor(self, column: str, field: str,
+                        ) -> Callable[[Dict[str, Optional[bytes]]],
+                                      Optional[tuple]]:
+        """An extractor usable as ``IndexDescriptor.extractor``: pulls one
+        field out of the dense column for index maintenance.
+
+        Returns None (no index entry) when the column is absent or the
+        field is NULL."""
+        if field not in self._index_of:
+            raise EncodingError(f"unknown dense field {field!r}")
+
+        def extract(row_values: Dict[str, Optional[bytes]],
+                    ) -> Optional[tuple]:
+            packed = row_values.get(column)
+            if packed is None:
+                return None
+            value = self.unpack_field(packed, field)
+            if value is None:
+                return None
+            return (value,)
+
+        return extract

@@ -1,0 +1,105 @@
+"""Index metadata and the index catalog.
+
+An :class:`IndexDescriptor` names the base table, the indexed column(s)
+(composite indexes supported, §7) and the maintenance scheme.  Index
+entries live in a dedicated key-only index table named
+``__idx__<table>__<index>`` whose rowkey is
+``enc(v1) ⊕ … ⊕ enc(vn) ⊕ base_rowkey`` (see :mod:`repro.core.encoding`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.encoding import IndexableValue, encode_index_key
+from repro.core.schemes import IndexScheme
+
+__all__ = ["IndexDescriptor", "IndexScope", "row_index_key",
+           "extract_index_values", "INDEX_TABLE_PREFIX", "index_table_name"]
+
+
+class IndexScope(enum.Enum):
+    """Global (own partitioned table) vs local (region-co-located) — §3.1."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+
+INDEX_TABLE_PREFIX = "__idx__"
+
+
+def index_table_name(base_table: str, index_name: str) -> str:
+    """Naming convention for the key-only table holding an index."""
+    return f"{INDEX_TABLE_PREFIX}{base_table}__{index_name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexDescriptor:
+    name: str
+    base_table: str
+    columns: Tuple[str, ...]
+    scheme: IndexScheme = IndexScheme.SYNC_FULL
+    # GLOBAL indexes live in their own partitioned table (the Diff-Index
+    # design); LOCAL indexes co-locate entries with the base region and
+    # use synchronous maintenance (§3.1's alternative, for comparison).
+    scope: "IndexScope" = None  # type: ignore[assignment]
+    # Custom value extraction (§7: "indexing columns with customer
+    # encoding scheme" and dense-column fields): maps the row's stored
+    # column bytes to the tuple of indexable values, or None for "this
+    # row contributes no entry".  The default reads ``columns`` verbatim.
+    extractor: Optional[Callable[
+        [Dict[str, Optional[bytes]]],
+        Optional[Tuple[Optional[IndexableValue], ...]]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("an index needs at least one column")
+        if self.scope is None:
+            object.__setattr__(self, "scope", IndexScope.GLOBAL)
+        if (self.scope is IndexScope.LOCAL
+                and self.scheme is not IndexScheme.SYNC_FULL):
+            raise ValueError(
+                "local indexes use synchronous maintenance (every step is "
+                "region-local); choose scheme=SYNC_FULL")
+
+    @property
+    def is_local(self) -> bool:
+        return self.scope is IndexScope.LOCAL
+
+    @property
+    def table_name(self) -> str:
+        return index_table_name(self.base_table, self.name)
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.columns) > 1
+
+
+def extract_index_values(index: IndexDescriptor,
+                         row_values: Dict[str, Optional[bytes]],
+                         ) -> Optional[Tuple[Optional[IndexableValue], ...]]:
+    """The tuple of indexed-column values for one row image.
+
+    Returns ``None`` when no indexed column is present at all (the row
+    never contributes an entry).  Raw stored bytes are indexed as bytes;
+    typed values must be encoded by the application before storage or
+    supplied through the typed-column helpers in the workload layer.
+    """
+    if index.extractor is not None:
+        return index.extractor(row_values)
+    values = tuple(row_values.get(col) for col in index.columns)
+    if all(v is None for v in values):
+        return None
+    return values
+
+
+def row_index_key(index: IndexDescriptor,
+                  values: Sequence[Optional[IndexableValue]],
+                  rowkey: bytes) -> bytes:
+    """The index-table rowkey for one base row's entry."""
+    if len(values) != len(index.columns):
+        raise ValueError(
+            f"index {index.name} expects {len(index.columns)} values, "
+            f"got {len(values)}")
+    return encode_index_key(values, rowkey)

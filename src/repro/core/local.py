@@ -1,0 +1,121 @@
+"""Local (region-co-located) secondary indexes — the §3.1 comparator.
+
+The paper weighs two index layouts:
+
+* **global** (Diff-Index's choice): the index is its own partitioned
+  table; updates incur remote calls, but a selective query goes straight
+  to the regions holding the matching entries;
+* **local**: each region indexes only its own rows, co-located with them
+  (Huawei's hindex takes this route, with synchronous maintenance).
+  Updates are fast — no remote call — but *every* query must be
+  broadcast to every region.
+
+This module implements local indexes so the trade-off can be measured
+(`benchmarks/bench_local_vs_global.py`).  Entries live inside the base
+region's own LSM tree under a reserved key prefix that sorts below all
+row keys, so WAL logging, flushes, compaction and crash recovery all
+come for free and the co-location is literal: an entry can never be on a
+different server than its row.
+
+Layout of one entry cell:
+
+    0x00 "__lidx__" 0x00 <index-name> 0x00 <enc(values) ⊕ rowkey>
+
+Local indexes use synchronous maintenance (the insert, the old-value
+read and the delete are all region-local, so there is nothing worth
+making asynchronous).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.index import (IndexDescriptor, extract_index_values,
+                              row_index_key)
+from repro.lsm.types import Cell, DELTA_MS, KeyRange
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.region import Region
+    from repro.cluster.server import RegionServer
+
+__all__ = ["LOCAL_RESERVED_PREFIX", "local_entry_key", "local_scan_range",
+           "split_local_entry_key", "plan_local_index_cells",
+           "is_reserved_key"]
+
+LOCAL_RESERVED_PREFIX = b"\x00__lidx__\x00"
+
+
+def is_reserved_key(cell_key: bytes) -> bool:
+    """True for keys in the reserved (non-row) keyspace of a region."""
+    return cell_key.startswith(b"\x00")
+
+
+def local_entry_key(index_name: str, index_key: bytes) -> bytes:
+    return (LOCAL_RESERVED_PREFIX + index_name.encode() + b"\x00"
+            + index_key)
+
+
+def split_local_entry_key(cell_key: bytes) -> Tuple[str, bytes]:
+    body = cell_key[len(LOCAL_RESERVED_PREFIX):]
+    name, _sep, index_key = body.partition(b"\x00")
+    return name.decode(), index_key
+
+
+def local_scan_range(index_name: str, inner: KeyRange) -> KeyRange:
+    """Map an index-key range into this index's reserved keyspace."""
+    prefix = LOCAL_RESERVED_PREFIX + index_name.encode() + b"\x00"
+    start = prefix + inner.start
+    if inner.end is not None:
+        end: Optional[bytes] = prefix + inner.end
+    else:
+        # End of this index's slot: bump the trailing separator.
+        end = prefix[:-1] + b"\x01"
+    return KeyRange(start, end)
+
+
+def plan_local_index_cells(server: "RegionServer", region: "Region",
+                           row: bytes,
+                           new_values: Optional[Dict[str, bytes]],
+                           ts: int,
+                           indexes: List[IndexDescriptor],
+                           ) -> Generator[Any, Any, List[Cell]]:
+    """Synchronous, fully region-local maintenance: the new entry, and —
+    after a *local* old-value read (the §4.1 cost minus any network) —
+    the delete marker for the displaced entry.
+
+    Returns the cells instead of writing them: the put path appends them
+    to the SAME WAL record as the base mutation, so a local index is
+    crash-atomic with its row (an advantage global indexes cannot have).
+    """
+    touched = [index for index in indexes
+               if new_values is None
+               or any(col in new_values for col in index.columns)]
+    if not touched:
+        return []
+
+    cells: List[Cell] = []
+    if new_values is not None:
+        for index in touched:
+            new_tuple = extract_index_values(index, new_values)
+            if new_tuple is None:
+                continue
+            key = local_entry_key(index.name,
+                                  row_index_key(index, new_tuple, row))
+            cells.append(Cell(key, ts, b""))
+
+    columns = sorted({col for index in touched for col in index.columns})
+    old_row = yield from server.local_read_row(
+        region, row, columns, max_ts=ts - DELTA_MS, background=False)
+    old_values = {col: value for col, (value, _ts) in old_row.items()}
+    for index in touched:
+        old_tuple = extract_index_values(index, old_values)
+        if old_tuple is None:
+            continue
+        key = local_entry_key(index.name,
+                              row_index_key(index, old_tuple, row))
+        cells.append(Cell(key, ts - DELTA_MS, None))
+
+    for cell in cells:
+        server.cluster.counters.incr(
+            "index_delete" if cell.is_tombstone else "index_put")
+    return cells

@@ -1,0 +1,116 @@
+"""Index maintenance utilities (§7: "a utility for index creation,
+maintenance and cleanse").
+
+* :func:`scrub_index` — the *cleanse*: sweep the index table and delete
+  every stale entry (the double-check of Algorithm 2 applied offline to
+  the whole index instead of lazily per query).  Running it after a
+  sync-insert phase — or before strengthening an index's scheme — leaves
+  the index exactly consistent.
+* :func:`rebuild_index` — drop all entries and rebuild from base data.
+
+Both run as client-driven coroutines, paying normal read/write costs, so
+they can be benchmarked like any other workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generator, TYPE_CHECKING
+
+from repro.core.encoding import decode_index_key
+from repro.core.index import IndexDescriptor, extract_index_values
+from repro.lsm.types import KeyRange
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.client import Client
+    from repro.cluster.cluster import MiniCluster
+
+__all__ = ["ScrubReport", "scrub_index", "rebuild_index"]
+
+
+@dataclasses.dataclass
+class ScrubReport:
+    index_name: str
+    entries_checked: int = 0
+    stale_deleted: int = 0
+    missing_inserted: int = 0
+
+
+def scrub_index(cluster: "MiniCluster", client: "Client", index_name: str,
+                repair_missing: bool = False,
+                ) -> Generator[Any, Any, ScrubReport]:
+    """Sweep every entry; delete the stale, optionally insert the missing.
+
+    ``repair_missing=True`` additionally walks the base table and inserts
+    entries that should exist but do not (useful after an unclean period
+    with the drain protocol disabled)."""
+    index = cluster.index_descriptor(index_name)
+    report = ScrubReport(index_name)
+
+    cells = yield from client.scan_table(index.table_name, KeyRange(),
+                                         is_index=True)
+    for cell in cells:
+        report.entries_checked += 1
+        values, rowkey = decode_index_key(cell.key, len(index.columns))
+        row = yield from client.get(index.base_table, rowkey,
+                                    columns=list(index.columns))
+        current = {col: value for col, (value, _ts) in row.items()}
+        base_tuple = extract_index_values(index, current)
+        if base_tuple != tuple(values):
+            yield from client.delete_index_entry(index.table_name, cell.key,
+                                                 cell.ts)
+            report.stale_deleted += 1
+
+    if repair_missing:
+        inserted = yield from _repair_missing(cluster, client, index)
+        report.missing_inserted = inserted
+    return report
+
+
+def _repair_missing(cluster: "MiniCluster", client: "Client",
+                    index: IndexDescriptor) -> Generator[Any, Any, int]:
+    from repro.core.index import row_index_key
+    from repro.core.verify import actual_entries
+
+    present = set(actual_entries(cluster, index))
+    inserted = 0
+    for info in cluster.master.layout[index.base_table]:
+        server = cluster.servers[info.server_name]
+        region = server.regions.get(info.region_name)
+        if region is None:
+            continue
+        for row, row_data in region.iter_base_rows():
+            values = {col: value for col, (value, _ts) in row_data.items()}
+            tup = extract_index_values(index, values)
+            if tup is None:
+                continue
+            key = row_index_key(index, tup, row)
+            if key in present:
+                continue
+            target_server, _region = cluster.locate(index.table_name, key)
+            # A repair insert takes a FRESH timestamp: the entry's original
+            # ts may be burned by a tombstone (that is why it is missing),
+            # and the tombstone-masks-<=ts rule would swallow a re-insert
+            # at the same ts.  A current ts stays correct: any future
+            # legitimate delete of this entry uses a newer t_new − δ.
+            ts = target_server.assign_repair_timestamp()
+            yield from cluster.network.call(
+                target_server,
+                lambda s=target_server, k=key, t=ts:
+                s.handle_index_put(index.table_name, k, t))
+            inserted += 1
+    return inserted
+
+
+def rebuild_index(cluster: "MiniCluster", client: "Client", index_name: str,
+                  ) -> Generator[Any, Any, int]:
+    """Tombstone every existing entry, then re-derive all entries from
+    the base table.  Returns the number of entries rebuilt."""
+    index = cluster.index_descriptor(index_name)
+    cells = yield from client.scan_table(index.table_name, KeyRange(),
+                                         is_index=True)
+    for cell in cells:
+        yield from client.delete_index_entry(index.table_name, cell.key,
+                                             cell.ts)
+    rebuilt = yield from _repair_missing(cluster, client, index)
+    return rebuilt

@@ -1,0 +1,135 @@
+"""The three Diff-Index coprocessors (§7, Figure 6).
+
+* :class:`SyncFullObserver` — Algorithm 1 inside the put RPC: insert new
+  entry, read the old value at ``t_new − δ``, delete the old entry.  The
+  put is acknowledged only when all of it is done (causal consistency).
+* :class:`SyncInsertObserver` — Algorithm 1 truncated to SU1+SU2: only
+  the insert is synchronous; stale entries are repaired at read time.
+* :class:`AsyncObserver` — Algorithm 3: enqueue an :class:`IndexTask`
+  into the AUQ and acknowledge immediately; Algorithm 4 runs in the APS.
+
+Schemes are chosen *per index* (§3.4), so each observer filters the
+table's indexes down to the ones it owns; a put on a table with a
+sync-full index and an async index runs both observers, each on its own
+index set.
+
+Failure handling follows §6.2: a failed synchronous index operation does
+not roll back the base put — the whole task degrades to the AUQ, where
+the APS retries it to eventual success.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Generator, Tuple, TYPE_CHECKING
+
+from repro.errors import RpcError
+from repro.core.auq import IndexTask, maintain_indexes, maintain_insert_only
+from repro.core.coprocessor import RegionObserver
+from repro.core.schemes import IndexScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.server import RegionServer
+    from repro.cluster.table import TableDescriptor
+
+__all__ = ["SyncFullObserver", "SyncInsertObserver", "AsyncObserver",
+           "build_observers"]
+
+
+def _owned_indexes(table: TableDescriptor,
+                   schemes: FrozenSet[IndexScheme]) -> Tuple[str, ...]:
+    return tuple(index.name for index in table.indexes.values()
+                 if index.scheme in schemes and not index.is_local)
+
+
+class SyncFullObserver(RegionObserver):
+    SCHEMES = frozenset({IndexScheme.SYNC_FULL})
+
+    def _task(self, server: "RegionServer", table: TableDescriptor,
+              row: bytes, values, ts: int) -> IndexTask:
+        return IndexTask(table.name, row, values, ts,
+                         enqueued_at=server.sim.now(),
+                         index_names=_owned_indexes(table, self.SCHEMES))
+
+    def post_put(self, server: "RegionServer", table: TableDescriptor,
+                 row: bytes, values: Dict[str, bytes], ts: int,
+                 ) -> Generator[Any, Any, None]:
+        task = self._task(server, table, row, values, ts)
+        if not task.index_names:
+            return
+        try:
+            yield from maintain_indexes(server.op_context, task,
+                                        background=False, insert_first=True)
+        except RpcError:
+            server.degrade_to_auq(task)
+
+    def post_delete(self, server: "RegionServer", table: TableDescriptor,
+                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+        task = self._task(server, table, row, None, ts)
+        if not task.index_names:
+            return
+        try:
+            yield from maintain_indexes(server.op_context, task,
+                                        background=False, insert_first=True)
+        except RpcError:
+            server.degrade_to_auq(task)
+
+
+class SyncInsertObserver(RegionObserver):
+    SCHEMES = frozenset({IndexScheme.SYNC_INSERT})
+
+    def post_put(self, server: "RegionServer", table: TableDescriptor,
+                 row: bytes, values: Dict[str, bytes], ts: int,
+                 ) -> Generator[Any, Any, None]:
+        task = IndexTask(table.name, row, values, ts,
+                         enqueued_at=server.sim.now(),
+                         index_names=_owned_indexes(table, self.SCHEMES))
+        if not task.index_names:
+            return
+        try:
+            yield from maintain_insert_only(server.op_context, task)
+        except RpcError:
+            server.degrade_to_auq(task)
+
+    def post_delete(self, server: "RegionServer", table: TableDescriptor,
+                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+        # Nothing to insert; the tombstoned row makes existing entries
+        # stale, and reads repair them (Algorithm 2).
+        return
+        yield  # pragma: no cover
+
+
+class AsyncObserver(RegionObserver):
+    SCHEMES = frozenset({IndexScheme.ASYNC_SIMPLE, IndexScheme.ASYNC_SESSION})
+
+    def post_put(self, server: "RegionServer", table: TableDescriptor,
+                 row: bytes, values: Dict[str, bytes], ts: int,
+                 ) -> Generator[Any, Any, None]:
+        names = _owned_indexes(table, self.SCHEMES)
+        if not names:
+            return
+        yield from server.enqueue_index_task(
+            IndexTask(table.name, row, values, ts,
+                      enqueued_at=server.sim.now(), index_names=names))
+
+    def post_delete(self, server: "RegionServer", table: TableDescriptor,
+                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+        names = _owned_indexes(table, self.SCHEMES)
+        if not names:
+            return
+        yield from server.enqueue_index_task(
+            IndexTask(table.name, row, None, ts,
+                      enqueued_at=server.sim.now(), index_names=names))
+
+
+def build_observers(table: TableDescriptor) -> Tuple[RegionObserver, ...]:
+    """The coprocessors deployed on an index-enabled table (§7): one per
+    scheme family actually used by the table's indexes."""
+    schemes = {index.scheme for index in table.indexes.values()}
+    observers = []
+    if IndexScheme.SYNC_FULL in schemes:
+        observers.append(SyncFullObserver())
+    if IndexScheme.SYNC_INSERT in schemes:
+        observers.append(SyncInsertObserver())
+    if schemes & AsyncObserver.SCHEMES:
+        observers.append(AsyncObserver())
+    return tuple(observers)

@@ -1,0 +1,177 @@
+"""Index reads: ``getByIndex`` for every scheme.
+
+* sync-full / async — one scan of the (small) index table returns the
+  matching base rowkeys directly (Table 2: read = 1 Index Read);
+* sync-insert — Algorithm 2: after the index scan, each candidate rowkey
+  is double-checked against the base table; stale entries are filtered
+  out *and repaired* (deleted at their own timestamp);
+* async-session — the server results are merged with the session's
+  private index view before returning (read-your-writes).
+
+Predicates: exact match on the full column tuple, or a range over the
+first indexed column (how Figure 9 sweeps ``item_price``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import NoSuchIndexError
+from repro.core.encoding import (IndexableValue, decode_index_key,
+                                 encode_value, index_prefix,
+                                 prefix_upper_bound)
+from repro.core.index import IndexDescriptor, extract_index_values
+from repro.core.schemes import IndexScheme
+from repro.core.session import Session
+from repro.lsm.types import KeyRange
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.client import Client
+
+__all__ = ["IndexHit", "index_scan_range", "get_by_index"]
+
+
+@dataclasses.dataclass
+class IndexHit:
+    """One matching index entry, decoded."""
+
+    rowkey: bytes
+    values: tuple
+    ts: int
+    index_key: bytes
+
+
+def index_scan_range(index: IndexDescriptor,
+                     equals: Optional[Sequence[IndexableValue]] = None,
+                     low: Optional[IndexableValue] = None,
+                     high: Optional[IndexableValue] = None,
+                     ) -> KeyRange:
+    """The index-table key range selecting the requested entries.
+
+    ``equals`` matches the leading column values exactly;
+    ``low``/``high`` bound the first column (inclusive on both ends,
+    matching the paper's price-range queries)."""
+    if equals is not None:
+        if len(equals) > len(index.columns):
+            raise NoSuchIndexError(
+                f"{index.name}: {len(equals)} values for "
+                f"{len(index.columns)} columns")
+        prefix = index_prefix(list(equals))
+        return KeyRange(prefix, prefix_upper_bound(prefix))
+    start = encode_value(low) if low is not None else b""
+    if high is not None:
+        end = prefix_upper_bound(encode_value(high))
+    else:
+        end = None
+    return KeyRange(start, end)
+
+
+def _decode_hits(index: IndexDescriptor, cells) -> List[IndexHit]:
+    hits = []
+    for cell in cells:
+        values, rowkey = decode_index_key(cell.key, len(index.columns))
+        hits.append(IndexHit(rowkey, tuple(values), cell.ts, cell.key))
+    return hits
+
+
+def get_by_index(client: "Client", index: IndexDescriptor,
+                 equals: Optional[Sequence[IndexableValue]] = None,
+                 low: Optional[IndexableValue] = None,
+                 high: Optional[IndexableValue] = None,
+                 limit: Optional[int] = None,
+                 session: Optional[Session] = None,
+                 ) -> Generator[Any, Any, List[IndexHit]]:
+    """The client-library ``getByIndex`` (§7)."""
+    key_range = index_scan_range(index, equals=equals, low=low, high=high)
+
+    if index.is_local:
+        # §3.1: a local index "has to be broadcast to each region" — one
+        # call per server hosting base-table regions, results merged here.
+        hits = yield from _broadcast_local(client, index, key_range, limit)
+        return hits
+
+    # SR1 / the single index read of sync-full and async.
+    cells = yield from client.scan_table(index.table_name, key_range,
+                                         limit=limit, is_index=True)
+    hits = _decode_hits(index, cells)
+
+    if index.scheme is IndexScheme.SYNC_INSERT:
+        hits = yield from _double_check(client, index, hits)
+
+    if (index.scheme is IndexScheme.ASYNC_SESSION and session is not None
+            and not session.disabled):
+        session.touch(client.cluster.sim.now())
+        merged = session.merge_index_results(
+            index.name, {h.index_key: h.ts for h in hits},
+            key_range.start, key_range.end)
+        hits = _decode_hits(index, [_KeyTs(k, ts)
+                                    for k, ts in sorted(merged.items())])
+        if limit is not None:
+            hits = hits[:limit]
+    return hits
+
+
+@dataclasses.dataclass
+class _KeyTs:
+    """Duck-typed cell (key + ts) for re-decoding merged session results."""
+
+    key: bytes
+    ts: int
+
+
+def _broadcast_local(client: "Client", index: IndexDescriptor,
+                     key_range: KeyRange, limit: Optional[int],
+                     ) -> Generator[Any, Any, List[IndexHit]]:
+    """Fan the query out to every server hosting the base table, in
+    parallel, and merge the per-region answers in index-key order."""
+    from repro.core.local import split_local_entry_key
+    from repro.sim.kernel import all_of
+
+    cluster = client.cluster
+    infos = cluster.master.regions_for_range(index.base_table, KeyRange())
+    by_server = sorted({info.server_name for info in infos})
+    procs = []
+    for server_name in by_server:
+        server = cluster.servers[server_name]
+
+        def one_server(server=server):
+            cells = yield from cluster.network.call(
+                server, lambda: server.handle_local_index_scan(
+                    index.base_table, index.name, key_range, limit))
+            return cells
+
+        procs.append(cluster.sim.spawn(one_server(),
+                                       name=f"lidx-{server_name}"))
+    per_server = yield all_of(cluster.sim, procs)
+
+    merged = []
+    for cells in per_server:
+        for cell in cells:
+            _name, index_key = split_local_entry_key(cell.key)
+            merged.append(_KeyTs(index_key, cell.ts))
+    merged.sort(key=lambda c: c.key)
+    if limit is not None:
+        merged = merged[:limit]
+    return _decode_hits(index, merged)
+
+
+def _double_check(client: "Client", index: IndexDescriptor,
+                  hits: List[IndexHit],
+                  ) -> Generator[Any, Any, List[IndexHit]]:
+    """Algorithm 2, SR2: for every candidate, read the base row; keep the
+    entry if the base value still matches, otherwise delete it from the
+    index table (lazy repair)."""
+    confirmed: List[IndexHit] = []
+    for hit in hits:
+        row_data = yield from client.get(index.base_table, hit.rowkey,
+                                         columns=list(index.columns))
+        current = {col: value for col, (value, _ts) in row_data.items()}
+        base_tuple = extract_index_values(index, current)
+        if base_tuple == hit.values:
+            confirmed.append(hit)
+        else:
+            # Stale: DI(v_index ⊕ k, ts) — delete that exact entry version.
+            yield from client.delete_index_entry(index.table_name,
+                                                 hit.index_key, hit.ts)
+    return confirmed

@@ -1,0 +1,75 @@
+"""The Diff-Index scheme spectrum (paper Figure 4).
+
+Each index independently chooses one of four maintenance schemes; the
+enum also encodes the paper's selection principles (§3.4) in
+:func:`recommend_scheme` so applications can ask for advice from the
+workload's requirements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["IndexScheme", "ConsistencyLevel", "WorkloadProfile",
+           "recommend_scheme"]
+
+
+class IndexScheme(enum.Enum):
+    SYNC_FULL = "sync-full"
+    SYNC_INSERT = "sync-insert"
+    ASYNC_SIMPLE = "async-simple"
+    ASYNC_SESSION = "async-session"
+
+    @property
+    def is_async(self) -> bool:
+        return self in (IndexScheme.ASYNC_SIMPLE, IndexScheme.ASYNC_SESSION)
+
+    @property
+    def consistency(self) -> "ConsistencyLevel":
+        return _CONSISTENCY[self]
+
+
+class ConsistencyLevel(enum.Enum):
+    """What the client can assume about the index after a put SUCCESS."""
+
+    CAUSAL = "causal"                      # sync-full
+    CAUSAL_READ_REPAIR = "causal-with-read-repair"  # sync-insert
+    EVENTUAL = "eventual"                  # async-simple
+    SESSION = "session"                    # async-session
+
+
+_CONSISTENCY = {
+    IndexScheme.SYNC_FULL: ConsistencyLevel.CAUSAL,
+    IndexScheme.SYNC_INSERT: ConsistencyLevel.CAUSAL_READ_REPAIR,
+    IndexScheme.ASYNC_SIMPLE: ConsistencyLevel.EVENTUAL,
+    IndexScheme.ASYNC_SESSION: ConsistencyLevel.SESSION,
+}
+
+
+@dataclasses.dataclass
+class WorkloadProfile:
+    """Inputs to the paper's general scheme-selection principles (§3.4)."""
+
+    needs_consistency: bool = False
+    read_latency_critical: bool = False
+    update_latency_critical: bool = False
+    needs_read_your_writes: bool = False
+
+
+def recommend_scheme(profile: WorkloadProfile) -> IndexScheme:
+    """The §3.4 principles, verbatim:
+
+    (1) use sync-full or sync-insert when consistency is needed;
+    (2) use sync-full when read latency is critical;
+    (3) use sync-insert when update latency is critical;
+    (4) use async-simple or async-session when consistency is not a concern;
+    (5) use async-session when read-your-write semantics is needed.
+    """
+    if profile.needs_read_your_writes:
+        return IndexScheme.ASYNC_SESSION
+    if profile.needs_consistency:
+        if profile.update_latency_critical and not profile.read_latency_critical:
+            return IndexScheme.SYNC_INSERT
+        return IndexScheme.SYNC_FULL
+    return IndexScheme.ASYNC_SIMPLE

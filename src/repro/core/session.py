@@ -1,0 +1,185 @@
+"""Client-side session consistency (§5.2, scheme async-session).
+
+"The basic technique used to provide session consistency is to track
+additional state in the client library": each session keeps private,
+in-memory tables of the index entries (and base cells) its own writes
+imply.  When the server acknowledges a put it returns the old value and
+the assigned timestamp; the library derives the delete marker for the old
+index entry and the new entry, exactly as the server-side maintenance
+would.  A session-consistent read merges the server's answer with this
+private state, giving read-your-writes without waiting for the AUQ.
+
+Sessions expire after ``max_duration_ms`` of inactivity, and a memory cap
+auto-disables session consistency rather than run out of memory — both
+protections are from the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SessionExpiredError
+from repro.core.index import IndexDescriptor, extract_index_values, row_index_key
+from repro.lsm.types import DELTA_MS
+
+__all__ = ["Session", "SessionEntry", "DEFAULT_SESSION_DURATION_MS"]
+
+DEFAULT_SESSION_DURATION_MS = 30 * 60 * 1000.0   # "say 30 minutes"
+
+_session_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class SessionEntry:
+    """Private view of one index entry: alive (inserted) or a delete marker."""
+
+    index_key: bytes
+    ts: int
+    alive: bool
+
+
+class Session:
+    def __init__(self, created_at: float,
+                 max_duration_ms: float = DEFAULT_SESSION_DURATION_MS,
+                 memory_limit_entries: int = 100_000):
+        self.session_id = f"session-{next(_session_ids)}"
+        self.created_at = created_at
+        self.last_active = created_at
+        self.max_duration_ms = max_duration_ms
+        self.memory_limit_entries = memory_limit_entries
+        self.ended = False
+        # Auto-disabled when the private tables exceed the memory cap; the
+        # API keeps working but degrades to plain eventual consistency.
+        self.disabled = False
+        # index name -> index_key -> newest private entry
+        self._index_view: Dict[str, Dict[bytes, SessionEntry]] = {}
+        # (table, row) -> column -> (value-or-None, ts)
+        self._base_view: Dict[Tuple[str, bytes],
+                              Dict[str, Tuple[Optional[bytes], int]]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def touch(self, now: float) -> None:
+        if self.ended:
+            raise SessionExpiredError(f"{self.session_id} already ended")
+        if now - self.last_active > self.max_duration_ms:
+            self.end()
+            raise SessionExpiredError(
+                f"{self.session_id} expired after "
+                f"{self.max_duration_ms:.0f} ms of inactivity")
+        self.last_active = now
+
+    def end(self) -> None:
+        """Garbage-collect the private tables (end_session / expiry)."""
+        self.ended = True
+        self._index_view.clear()
+        self._base_view.clear()
+
+    @property
+    def entry_count(self) -> int:
+        return (sum(len(v) for v in self._index_view.values())
+                + sum(len(v) for v in self._base_view.values()))
+
+    def _enforce_memory_cap(self) -> None:
+        if self.entry_count > self.memory_limit_entries:
+            self.disabled = True
+            self._index_view.clear()
+            self._base_view.clear()
+
+    # -- recording writes -------------------------------------------------------
+
+    def record_put(self, table: str, row: bytes, values: Dict[str, bytes],
+                   old_values: Dict[str, Optional[bytes]], ts: int,
+                   session_indexes: List[IndexDescriptor]) -> None:
+        """Apply "the same logic as in the server" to the private tables."""
+        if self.disabled:
+            return
+        base = self._base_view.setdefault((table, row), {})
+        for col, value in values.items():
+            base[col] = (value, ts)
+
+        for index in session_indexes:
+            if not any(col in values for col in index.columns):
+                continue
+            view = self._index_view.setdefault(index.name, {})
+            new_tuple = extract_index_values(index, values)
+            if new_tuple is not None:
+                key = row_index_key(index, new_tuple, row)
+                view[key] = SessionEntry(key, ts, alive=True)
+            old_tuple = extract_index_values(index, old_values)
+            if old_tuple is not None:
+                old_key = row_index_key(index, old_tuple, row)
+                # The delete marker at t_new − δ, as the server generates.
+                existing = view.get(old_key)
+                if existing is None or existing.ts <= ts - DELTA_MS:
+                    view[old_key] = SessionEntry(old_key, ts - DELTA_MS,
+                                                 alive=False)
+        self._enforce_memory_cap()
+
+    def record_delete(self, table: str, row: bytes, columns: List[str],
+                      old_values: Dict[str, Optional[bytes]], ts: int,
+                      session_indexes: List[IndexDescriptor]) -> None:
+        if self.disabled:
+            return
+        base = self._base_view.setdefault((table, row), {})
+        for col in columns:
+            base[col] = (None, ts)
+        for index in session_indexes:
+            view = self._index_view.setdefault(index.name, {})
+            old_tuple = extract_index_values(index, old_values)
+            if old_tuple is not None:
+                old_key = row_index_key(index, old_tuple, row)
+                view[old_key] = SessionEntry(old_key, ts - DELTA_MS,
+                                             alive=False)
+        self._enforce_memory_cap()
+
+    # -- merging reads ------------------------------------------------------------
+
+    def merge_index_results(self, index_name: str,
+                            server_entries: Dict[bytes, int],
+                            range_start: bytes,
+                            range_end: Optional[bytes]) -> Dict[bytes, int]:
+        """Combine server index entries with the private view.
+
+        ``server_entries`` maps index_key -> ts.  Private inserts within
+        the scanned range are added; private delete markers suppress
+        server entries they mask (entry ts <= marker ts).
+        """
+        if self.disabled:
+            return server_entries
+        merged = dict(server_entries)
+        view = self._index_view.get(index_name, {})
+        for key, entry in view.items():
+            if key < range_start:
+                continue
+            if range_end is not None and key >= range_end:
+                continue
+            if entry.alive:
+                if key not in merged or merged[key] < entry.ts:
+                    merged[key] = entry.ts
+            else:
+                current = merged.get(key)
+                if current is not None and current <= entry.ts:
+                    del merged[key]
+        return merged
+
+    def merge_base_row(self, table: str, row: bytes,
+                       server_row: Dict[str, Tuple[bytes, int]],
+                       ) -> Dict[str, Tuple[bytes, int]]:
+        """Read-your-writes for plain gets."""
+        if self.disabled:
+            return server_row
+        private = self._base_view.get((table, row))
+        if not private:
+            return server_row
+        merged = dict(server_row)
+        for col, (value, ts) in private.items():
+            server_ts = merged.get(col, (None, -1))[1]
+            if ts >= server_ts:
+                if value is None:
+                    merged.pop(col, None)
+                else:
+                    merged[col] = (value, ts)
+        return merged

@@ -1,0 +1,65 @@
+"""Index staleness measurement (Figure 11 instrumentation).
+
+For async schemes there is a window between (T1) the moment a base entry
+is visible and (T2) the moment the AUQ has completed all index updates
+for it.  The paper samples 0.1% of inserted entries and reports the
+distribution of ``T2 − T1`` under increasing transaction rates; this
+tracker mirrors that methodology (sampling avoids measurement overhead
+perturbing the system — in our case, unbounded memory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.random import RandomStream
+
+__all__ = ["StalenessTracker"]
+
+
+class StalenessTracker:
+    def __init__(self, sample_rate: float = 1.0, seed: int = 17):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.sample_rate = sample_rate
+        self._rng = RandomStream(seed)
+        self.lags_ms: List[float] = []
+        self.observed = 0
+
+    def record(self, base_ts_ms: int, completed_at_ms: float) -> None:
+        """Called by the APS when every index op of one task is done."""
+        self.observed += 1
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return
+        self.lags_ms.append(max(0.0, completed_at_ms - base_ts_ms))
+
+    # -- reporting ---------------------------------------------------------
+
+    def percentiles(self, points: Sequence[float] = (50, 90, 99, 100),
+                    ) -> Dict[float, float]:
+        if not self.lags_ms:
+            return {p: 0.0 for p in points}
+        ordered = sorted(self.lags_ms)
+        out = {}
+        for p in points:
+            rank = min(len(ordered) - 1, max(0, int(round(
+                p / 100.0 * (len(ordered) - 1)))))
+            out[p] = ordered[rank]
+        return out
+
+    def fraction_within(self, threshold_ms: float) -> float:
+        """E.g. the paper's "most index entries are updated within 100 ms"."""
+        if not self.lags_ms:
+            return 1.0
+        within = sum(1 for lag in self.lags_ms if lag <= threshold_ms)
+        return within / len(self.lags_ms)
+
+    def mean(self) -> float:
+        return sum(self.lags_ms) / len(self.lags_ms) if self.lags_ms else 0.0
+
+    def max(self) -> float:
+        return max(self.lags_ms) if self.lags_ms else 0.0
+
+    def reset(self) -> None:
+        self.lags_ms.clear()
+        self.observed = 0

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Distributed-store failures that the paper's protocols
+must tolerate (RPC failure, server death) have their own branches because
+the Diff-Index durability path reacts to them differently (failed sync index
+operations are retried through the AUQ rather than rolled back).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class ProcessCrashed(SimulationError):
+    """A simulated process raised and nobody was waiting on its result."""
+
+    def __init__(self, process_name: str, cause: BaseException):
+        super().__init__(f"process {process_name!r} crashed: {cause!r}")
+        self.process_name = process_name
+        self.cause = cause
+
+
+class StorageError(ReproError):
+    """Base class for LSM / storage-engine failures."""
+
+
+class ImmutableError(StorageError):
+    """Attempted to mutate a frozen structure (sealed memtable, SSTable)."""
+
+
+class ClusterError(ReproError):
+    """Base class for distributed-store failures."""
+
+
+class RpcError(ClusterError):
+    """A simulated remote call failed (network fault or dead server)."""
+
+
+class ServerDownError(RpcError):
+    """The target region server is not alive."""
+
+
+class NoSuchTableError(ClusterError):
+    """Operation referenced a table that does not exist."""
+
+
+class NoSuchRegionError(ClusterError):
+    """No region hosts the requested key (placement bug or mid-recovery)."""
+
+
+class TableExistsError(ClusterError):
+    """CREATE TABLE for a name that is already taken."""
+
+
+class IndexError_(ClusterError):
+    """Base class for secondary-index failures (trailing underscore avoids
+    shadowing the builtin)."""
+
+
+class NoSuchIndexError(IndexError_):
+    """Query referenced an index that does not exist."""
+
+
+class IndexExistsError(IndexError_):
+    """CREATE INDEX for a name that is already taken."""
+
+
+class SessionExpiredError(ClusterError):
+    """A session-consistent call used a session past its lifetime."""
+
+
+class EncodingError(ReproError):
+    """Value cannot be encoded into the memcomparable format."""

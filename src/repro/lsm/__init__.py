@@ -1,0 +1,28 @@
+"""Log-Structured-Merge storage engine (the per-region store).
+
+Implements the abstract LSM model of the paper's §2.1: an append-only
+in-memory component (:class:`~repro.lsm.memtable.MemTable`), immutable
+sorted disk components (:class:`~repro.lsm.sstable.SSTable`), a
+write-ahead log, flushes, compactions, multi-version reads and
+HBase-style tombstone masking.
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import BlockCache
+from repro.lsm.compaction import CompactionPolicy, compact_sstables
+from repro.lsm.iterators import merge_key_streams, resolve_get, resolve_versions
+from repro.lsm.memtable import MemTable
+from repro.lsm.skiplist import SkipList
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.tree import FlushHandle, LSMConfig, LSMTree, ReadStats
+from repro.lsm.types import Cell, DELTA_MS, KeyRange, cell_size
+from repro.lsm.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Cell", "KeyRange", "DELTA_MS", "cell_size",
+    "SkipList", "MemTable", "BloomFilter", "SSTable", "SSTableBuilder",
+    "WriteAheadLog", "WalRecord", "BlockCache",
+    "CompactionPolicy", "compact_sstables",
+    "resolve_get", "resolve_versions", "merge_key_streams",
+    "LSMTree", "LSMConfig", "ReadStats", "FlushHandle",
+]

@@ -1,0 +1,73 @@
+"""LRU block cache, shared by all regions on one server.
+
+The paper sizes its block cache at 25% of the region-server heap and
+notes that base-table reads are disk-bound while the (much smaller) index
+table stays cached — that size difference is exactly why sync-full index
+reads are fast and sync-insert's double-check (base reads) is slow.  A
+real LRU over (sstable, block) ids reproduces that behaviour once table
+sizes are scaled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """Byte-capacity LRU of block identifiers (contents stay in the SSTable)."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def access(self, block_id: Hashable, block_bytes: int) -> bool:
+        """Record a block access; returns True on hit.  On miss the block is
+        admitted (and LRU victims evicted)."""
+        if block_id in self._entries:
+            self._entries.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._admit(block_id, block_bytes)
+        return False
+
+    def _admit(self, block_id: Hashable, block_bytes: int) -> None:
+        if block_bytes > self.capacity_bytes:
+            return  # too big to ever cache
+        while self._used + block_bytes > self.capacity_bytes and self._entries:
+            _victim, victim_bytes = self._entries.popitem(last=False)
+            self._used -= victim_bytes
+            self.evictions += 1
+        self._entries[block_id] = block_bytes
+        self._used += block_bytes
+
+    def invalidate_sstable(self, sstable_id: int) -> None:
+        """Drop blocks of a compacted-away SSTable."""
+        victims = [bid for bid in self._entries
+                   if isinstance(bid, tuple) and bid and bid[0] == sstable_id]
+        for bid in victims:
+            self._used -= self._entries.pop(bid)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def block_id(sstable_id: int, block_index: int) -> Tuple[int, int]:
+        return (sstable_id, block_index)

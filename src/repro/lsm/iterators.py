@@ -1,0 +1,92 @@
+"""Version/tombstone resolution and merge iteration across LSM components.
+
+The masking rule implemented here is the LSM property the whole paper
+leans on (§4.3): *a tombstone at timestamp T masks every version of the
+same key with ts <= T*, regardless of physical write order.  Diff-Index
+deletes old index entries at ``t_new − δ`` so that a late-arriving
+re-insert of the stale entry (AUQ re-delivery, out-of-order APS workers)
+lands below the tombstone and stays invisible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lsm.types import Cell
+
+__all__ = ["resolve_versions", "resolve_get", "merge_key_streams"]
+
+
+def resolve_versions(cells: Iterable[Cell],
+                     max_versions: Optional[int] = None) -> List[Cell]:
+    """Reduce all physical versions of ONE key to its visible versions.
+
+    ``cells`` may arrive in any order and may contain duplicates (crash
+    replay re-delivers cells with identical timestamps — idempotent by
+    design).  Returns live value cells newest-first, at most
+    ``max_versions`` of them.
+    """
+    tomb_ts = -1
+    seen_ts = set()
+    values: List[Cell] = []
+    for cell in cells:
+        if cell.is_tombstone:
+            if cell.ts > tomb_ts:
+                tomb_ts = cell.ts
+    for cell in cells:
+        if cell.is_tombstone or cell.ts <= tomb_ts:
+            continue
+        if cell.ts in seen_ts:
+            continue  # idempotent duplicate (same key, same ts)
+        seen_ts.add(cell.ts)
+        values.append(cell)
+    values.sort(key=lambda c: -c.ts)
+    if max_versions is not None:
+        values = values[:max_versions]
+    return values
+
+
+def resolve_get(cells: Iterable[Cell]) -> Optional[Cell]:
+    """The single newest visible version, or None if absent/deleted."""
+    visible = resolve_versions(cells, max_versions=1)
+    return visible[0] if visible else None
+
+
+def merge_key_streams(
+    streams: Sequence[Iterator[Tuple[bytes, List[Cell]]]],
+) -> Iterator[Tuple[bytes, List[Cell]]]:
+    """Heap-merge several ordered ``(key, versions)`` streams into one,
+    concatenating the version lists of equal keys.
+
+    Each input stream must yield strictly increasing keys.  Used by scans
+    (memtable + every SSTable) and by compaction.
+    """
+    heap: List[Tuple[bytes, int, List[Cell], Iterator[Tuple[bytes, List[Cell]]]]] = []
+    for idx, stream in enumerate(streams):
+        try:
+            key, cells = next(stream)
+        except StopIteration:
+            continue
+        heap.append((key, idx, cells, stream))
+    heapq.heapify(heap)
+
+    while heap:
+        key, idx, cells, stream = heapq.heappop(heap)
+        merged = list(cells)
+        # Pull every stream currently positioned at the same key.
+        while heap and heap[0][0] == key:
+            _, nidx, ncells, nstream = heapq.heappop(heap)
+            merged.extend(ncells)
+            _advance(heap, nidx, nstream)
+        _advance(heap, idx, stream)
+        yield key, merged
+
+
+def _advance(heap: List, idx: int,
+             stream: Iterator[Tuple[bytes, List[Cell]]]) -> None:
+    try:
+        key, cells = next(stream)
+    except StopIteration:
+        return
+    heapq.heappush(heap, (key, idx, cells, stream))

@@ -1,0 +1,288 @@
+"""The LSM tree: one per (region, table) — HBase's "Store".
+
+All data-structure operations here are pure and instantaneous; timing is
+the caller's job.  Reads fill in a :class:`ReadStats` describing exactly
+what was touched (memtables probed, bloom filters consulted, blocks from
+cache vs. disk), and the region server converts that into simulated
+service time through the :class:`~repro.sim.latency.LatencyModel`.  This
+split keeps the engine unit-testable without a simulator.
+
+Flush is a two-phase affair (``prepare_flush`` / ``complete_flush``) so
+the server can run the paper's pre-flush coprocessor hook — pause and
+drain the AUQ — between sealing the memtable and rolling the WAL forward
+(§5.3, Figure 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.cache import BlockCache
+from repro.lsm.compaction import CompactionPolicy, CompactionResult, compact_sstables
+from repro.lsm.iterators import merge_key_streams, resolve_get, resolve_versions
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import DEFAULT_BLOCK_BYTES, SSTable, SSTableBuilder
+from repro.lsm.types import Cell, KeyRange
+
+__all__ = ["LSMConfig", "ReadStats", "LSMTree", "FlushHandle"]
+
+_flush_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class LSMConfig:
+    flush_threshold_bytes: int = 256 * 1024
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    max_versions: int = 3
+    bloom_fp_rate: float = 0.01
+    # Prefix-compress on-disk blocks (index tables benefit most: entries
+    # sharing an indexed value share long key prefixes) — §10 future work.
+    prefix_compression: bool = False
+    compaction: CompactionPolicy = dataclasses.field(default_factory=CompactionPolicy)
+
+
+@dataclasses.dataclass
+class ReadStats:
+    """What one logical read touched (consumed by the latency model)."""
+
+    memtable_probes: int = 0
+    bloom_probes: int = 0
+    blocks_from_cache: int = 0
+    blocks_from_disk: int = 0
+
+    def merge(self, other: "ReadStats") -> None:
+        self.memtable_probes += other.memtable_probes
+        self.bloom_probes += other.bloom_probes
+        self.blocks_from_cache += other.blocks_from_cache
+        self.blocks_from_disk += other.blocks_from_disk
+
+
+@dataclasses.dataclass
+class FlushHandle:
+    """A sealed memtable on its way to disk."""
+
+    flush_id: int
+    memtable: MemTable
+    wal_seqno: int   # roll the WAL forward to here once the flush lands
+
+
+class LSMTree:
+    def __init__(self, name: str = "lsm", config: Optional[LSMConfig] = None,
+                 cache: Optional[BlockCache] = None, seed: int = 0):
+        self.name = name
+        self.config = config or LSMConfig()
+        self.cache = cache
+        self._seed = seed
+        self._memtable = MemTable(seed=seed)
+        self._flushing: List[FlushHandle] = []
+        self._sstables: List[SSTable] = []   # newest first
+        self._compactions_done = 0
+        self.last_applied_seqno = 0
+
+    # ------------------------------------------------------------------ write
+
+    def add(self, cell: Cell, seqno: int = 0) -> None:
+        self._memtable.add(cell)
+        if seqno > self.last_applied_seqno:
+            self.last_applied_seqno = seqno
+
+    def add_many(self, cells: Tuple[Cell, ...], seqno: int = 0) -> None:
+        for cell in cells:
+            self._memtable.add(cell)
+        if seqno > self.last_applied_seqno:
+            self.last_applied_seqno = seqno
+
+    @property
+    def memtable_bytes(self) -> int:
+        return self._memtable.approximate_bytes
+
+    @property
+    def needs_flush(self) -> bool:
+        return (self._memtable.approximate_bytes
+                >= self.config.flush_threshold_bytes
+                and len(self._memtable) > 0)
+
+    # ------------------------------------------------------------------ flush
+
+    def prepare_flush(self) -> Optional[FlushHandle]:
+        """Seal the active memtable; returns None if there is nothing in it."""
+        if len(self._memtable) == 0:
+            return None
+        sealed = self._memtable
+        sealed.seal()
+        handle = FlushHandle(next(_flush_ids), sealed, self.last_applied_seqno)
+        self._flushing.append(handle)
+        self._memtable = MemTable(seed=self._seed + handle.flush_id)
+        return handle
+
+    def complete_flush(self, handle: FlushHandle) -> SSTable:
+        """Materialise the sealed memtable as an SSTable (Figure 2(b))."""
+        if handle not in self._flushing:
+            raise StorageError("unknown flush handle")
+        builder = SSTableBuilder(block_bytes=self.config.block_bytes,
+                                 bloom_fp_rate=self.config.bloom_fp_rate,
+                                 name=f"{self.name}/flush-{handle.flush_id}",
+                                 prefix_compression=self.config.prefix_compression)
+        builder.add_all(handle.memtable.all_cells())
+        sstable = builder.finish()
+        self._sstables.insert(0, sstable)
+        self._flushing.remove(handle)
+        return sstable
+
+    def adopt_sstables(self, sstables) -> None:
+        """Re-link flushed store files during region recovery: the files
+        persisted in the durable FS and simply become this tree's disk
+        components again (newest-first order preserved)."""
+        if self._sstables:
+            raise StorageError("adopt_sstables on a non-empty tree")
+        self._sstables = list(sstables)
+
+    # ------------------------------------------------------------- compaction
+
+    @property
+    def sstable_count(self) -> int:
+        return len(self._sstables)
+
+    @property
+    def needs_compaction(self) -> bool:
+        return len(self._sstables) >= self.config.compaction.min_files
+
+    def compact(self) -> Optional[CompactionResult]:
+        """Run one compaction round if the policy asks for one."""
+        chosen, is_major = self.config.compaction.pick(
+            self._sstables, self._compactions_done)
+        if not chosen:
+            return None
+        result = compact_sstables(
+            chosen, max_versions=self.config.max_versions, major=is_major,
+            block_bytes=self.config.block_bytes,
+            name=f"{self.name}/compact-{self._compactions_done + 1}",
+            prefix_compression=self.config.prefix_compression)
+        chosen_ids = {t.sstable_id for t in chosen}
+        remaining = [t for t in self._sstables if t.sstable_id not in chosen_ids]
+        if result.output is not None:
+            remaining.append(result.output)  # merged data is the oldest layer
+        self._sstables = remaining
+        if self.cache is not None:
+            for table in chosen:
+                self.cache.invalidate_sstable(table.sstable_id)
+        self._compactions_done += 1
+        return result
+
+    # ------------------------------------------------------------------- read
+
+    def _collect_cells(self, key: bytes, max_ts: Optional[int],
+                       stats: Optional[ReadStats]) -> List[Cell]:
+        cells: List[Cell] = []
+        for memtable in [self._memtable] + [h.memtable for h in self._flushing]:
+            found = memtable.cells_for(key, max_ts)
+            cells.extend(found)
+            if stats is not None:
+                stats.memtable_probes += 1
+        for sstable in self._sstables:
+            if stats is not None:
+                stats.bloom_probes += 1
+            if not sstable.may_contain(key):
+                continue
+            block_id = sstable.block_for_key(key)
+            if block_id is None:
+                continue
+            self._charge_block(sstable, block_id, stats)
+            found = sstable.cells_for(key, max_ts)
+            cells.extend(found)
+        return cells
+
+    def _charge_block(self, sstable: SSTable, block_id: int,
+                      stats: Optional[ReadStats]) -> None:
+        if stats is None:
+            return
+        if self.cache is None:
+            stats.blocks_from_disk += 1
+            return
+        hit = self.cache.access(BlockCache.block_id(sstable.sstable_id,
+                                                    block_id),
+                                sstable.block_bytes(block_id))
+        if hit:
+            stats.blocks_from_cache += 1
+        else:
+            stats.blocks_from_disk += 1
+
+    def get(self, key: bytes, max_ts: Optional[int] = None,
+            stats: Optional[ReadStats] = None) -> Optional[Cell]:
+        """Newest visible version of ``key`` at or before ``max_ts``."""
+        return resolve_get(self._collect_cells(key, max_ts, stats))
+
+    def get_versions(self, key: bytes, n: int, max_ts: Optional[int] = None,
+                     stats: Optional[ReadStats] = None) -> List[Cell]:
+        return resolve_versions(self._collect_cells(key, max_ts, stats),
+                                max_versions=n)
+
+    # ------------------------------------------------------------------- scan
+
+    def _memtable_stream(self, memtable: MemTable, key_range: KeyRange,
+                         ) -> Iterator[Tuple[bytes, List[Cell]]]:
+        return memtable.scan(key_range)
+
+    def _sstable_stream(self, sstable: SSTable, key_range: KeyRange,
+                        stats: Optional[ReadStats],
+                        ) -> Iterator[Tuple[bytes, List[Cell]]]:
+        current_key: Optional[bytes] = None
+        bucket: List[Cell] = []
+        last_block = -1
+        for block_id in sstable.blocks_for_range(key_range):
+            for cell in sstable.get_block(block_id):
+                if cell.key < key_range.start:
+                    continue
+                if key_range.end is not None and cell.key >= key_range.end:
+                    break
+                if block_id != last_block:
+                    self._charge_block(sstable, block_id, stats)
+                    last_block = block_id
+                if cell.key != current_key:
+                    if bucket:
+                        yield current_key, bucket  # type: ignore[misc]
+                    current_key = cell.key
+                    bucket = []
+                bucket.append(cell)
+        if bucket:
+            yield current_key, bucket  # type: ignore[misc]
+
+    def scan(self, key_range: KeyRange, max_ts: Optional[int] = None,
+             limit: Optional[int] = None,
+             stats: Optional[ReadStats] = None) -> List[Cell]:
+        """Visible newest version per key within ``key_range``, key order."""
+        streams: List[Iterator[Tuple[bytes, List[Cell]]]] = []
+        for memtable in [self._memtable] + [h.memtable for h in self._flushing]:
+            streams.append(self._memtable_stream(memtable, key_range))
+            if stats is not None:
+                stats.memtable_probes += 1
+        for sstable in self._sstables:
+            streams.append(self._sstable_stream(sstable, key_range, stats))
+
+        out: List[Cell] = []
+        for _key, cells in merge_key_streams(streams):
+            if max_ts is not None:
+                cells = [c for c in cells if c.ts <= max_ts]
+            visible = resolve_get(cells)
+            if visible is not None:
+                out.append(visible)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    # ----------------------------------------------------------------- stats
+
+    @property
+    def total_cells(self) -> int:
+        return (len(self._memtable)
+                + sum(len(h.memtable) for h in self._flushing)
+                + sum(t.cell_count for t in self._sstables))
+
+    @property
+    def total_bytes(self) -> int:
+        return (self._memtable.approximate_bytes
+                + sum(h.memtable.approximate_bytes for h in self._flushing)
+                + sum(t.total_bytes for t in self._sstables))

@@ -1,0 +1,95 @@
+"""Write-ahead log.
+
+One WAL per region server (as in HBase): every mutation is appended,
+tagged with its region, *before* it is applied to the memtable.  The log
+lives on the simulated replicated file system so it survives the death of
+the server that wrote it.
+
+``roll_forward(region, seqno)`` discards records a flush has persisted —
+the step the paper's drain-AUQ-before-flush protocol must wait for,
+because once a record leaves the WAL it can no longer be replayed to
+rebuild a lost AUQ entry (§5.3 requirement (1)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.lsm.types import Cell
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+_record_seq = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation: all cells of one row-level put or delete."""
+
+    seqno: int
+    region_name: str
+    table: str
+    cells: Tuple[Cell, ...]
+    # True when the mutation has async index maintenance attached; replay
+    # must re-enqueue such records into the AUQ (paper §5.3 requirement (2)).
+    indexed: bool = False
+
+    @property
+    def approximate_bytes(self) -> int:
+        return sum(len(c.key) + (len(c.value) or 0 if c.value else 0) + 32
+                   for c in self.cells)
+
+
+class WriteAheadLog:
+    """Region-server WAL stored as a list of records in SimHDFS.
+
+    The storage is a plain list owned by the durable-FS layer; this class
+    is the append/split/roll-forward logic over it.
+    """
+
+    def __init__(self, backing: Optional[List[WalRecord]] = None):
+        # ``backing`` is the durable list (lives in SimHDFS); mutations to
+        # it survive the server object being discarded.
+        self._records: List[WalRecord] = backing if backing is not None else []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, region_name: str, table: str, cells: Tuple[Cell, ...],
+               indexed: bool = False) -> WalRecord:
+        record = WalRecord(next(_record_seq), region_name, table, cells, indexed)
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[WalRecord]:
+        return list(self._records)
+
+    def records_for_region(self, region_name: str) -> List[WalRecord]:
+        """WAL split: the replay stream for one region (recovery §5.3)."""
+        return [r for r in self._records if r.region_name == region_name]
+
+    def split(self) -> Dict[str, List[WalRecord]]:
+        """Split the whole log per region, as ZooKeeper-driven recovery does."""
+        out: Dict[str, List[WalRecord]] = {}
+        for record in self._records:
+            out.setdefault(record.region_name, []).append(record)
+        return out
+
+    def roll_forward(self, region_name: str, up_to_seqno: int) -> int:
+        """Drop records of ``region_name`` with seqno <= ``up_to_seqno``
+        (their data has been flushed).  Returns how many were dropped."""
+        before = len(self._records)
+        self._records[:] = [r for r in self._records
+                            if r.region_name != region_name
+                            or r.seqno > up_to_seqno]
+        return before - len(self._records)
+
+    def max_seqno(self, region_name: str) -> int:
+        seqnos = [r.seqno for r in self._records if r.region_name == region_name]
+        return max(seqnos) if seqnos else 0
+
+    @property
+    def approximate_bytes(self) -> int:
+        return sum(r.approximate_bytes for r in self._records)

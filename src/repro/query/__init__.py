@@ -1,0 +1,7 @@
+"""Minimal predicate query layer (the Big SQL stand-in, §7)."""
+
+from repro.query.executor import execute_plan, query
+from repro.query.planner import QueryPlan, plan_query
+from repro.query.predicates import Eq, Range
+
+__all__ = ["Eq", "Range", "QueryPlan", "plan_query", "execute_plan", "query"]

@@ -1,0 +1,49 @@
+"""Access-path selection: index lookup vs parallel full scan.
+
+The Big SQL stand-in (§7: "Query Engine uses index metadata in query
+planning, and accesses indexes via the getByIndex API in query
+execution").  The rule is the one the paper motivates in §3.1: a global
+index wins for *selective* queries; without a usable index the query
+broadcasts a scan to every region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.index import IndexDescriptor
+from repro.query.predicates import Eq, Range
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import MiniCluster
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclasses.dataclass
+class QueryPlan:
+    table: str
+    predicate: object
+    access_path: str                  # "index" | "scan"
+    index: Optional[IndexDescriptor] = None
+
+    def describe(self) -> str:
+        if self.access_path == "index":
+            return (f"INDEX LOOKUP {self.index.name} "
+                    f"ON {self.table}({self.index.columns[0]})")
+        return f"PARALLEL SCAN {self.table}"
+
+
+def plan_query(cluster: "MiniCluster", table: str,
+               predicate: object) -> QueryPlan:
+    """Pick the access path: an index whose leading column matches the
+    predicate beats a broadcast scan."""
+    descriptor = cluster.descriptor(table)
+    column = getattr(predicate, "column", None)
+    if column is not None:
+        for index in descriptor.indexes.values():
+            if index.columns[0] == column:
+                if isinstance(predicate, (Eq, Range)):
+                    return QueryPlan(table, predicate, "index", index)
+    return QueryPlan(table, predicate, "scan")

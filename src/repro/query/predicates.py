@@ -1,0 +1,47 @@
+"""Column predicates for the minimal query layer."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Eq", "Range", "Predicate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Eq:
+    """column == value (raw stored bytes)."""
+
+    column: str
+    value: bytes
+
+    def matches(self, row: Dict[str, Tuple[bytes, int]]) -> bool:
+        cell = row.get(self.column)
+        return cell is not None and cell[0] == self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Range:
+    """low <= column <= high over the stored byte order.
+
+    For typed columns, store values through
+    :func:`repro.core.encoding.encode_value` so byte order equals value
+    order (how the item table stores prices)."""
+
+    column: str
+    low: Optional[bytes] = None
+    high: Optional[bytes] = None
+
+    def matches(self, row: Dict[str, Tuple[bytes, int]]) -> bool:
+        cell = row.get(self.column)
+        if cell is None:
+            return False
+        value = cell[0]
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+
+Predicate = object  # Eq | Range (kept loose for 3.9 compatibility)

@@ -1,0 +1,17 @@
+"""Discrete-event simulation substrate.
+
+Provides the event loop (:mod:`repro.sim.kernel`), queueing primitives
+(:mod:`repro.sim.resources`), the device latency model
+(:mod:`repro.sim.latency`) and seeded randomness (:mod:`repro.sim.random`).
+"""
+
+from repro.sim.kernel import Future, Process, Simulator, Timeout, all_of
+from repro.sim.latency import LatencyModel
+from repro.sim.random import RandomStream, SeedFactory
+from repro.sim.resources import AsyncQueue, Gate, Latch, Resource, use
+
+__all__ = [
+    "Simulator", "Process", "Future", "Timeout", "all_of",
+    "Resource", "AsyncQueue", "Gate", "Latch", "use",
+    "LatencyModel", "RandomStream", "SeedFactory",
+]

@@ -1,0 +1,298 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs inside a single-threaded discrete-event
+simulator: region servers, YCSB clients, the asynchronous processing
+service (APS), flushes and compactions are all *processes* — plain Python
+generators that yield the things they wait on:
+
+* ``Timeout(delay)``   — resume after ``delay`` simulated milliseconds;
+* a :class:`Future`    — resume when it resolves (its value is sent back);
+* a :class:`Process`   — resume when that process returns.
+
+The kernel is deliberately tiny (a heap of timestamped callbacks) so its
+behaviour is easy to audit; the queueing behaviour that produces the
+paper's latency-vs-throughput curves comes from :mod:`repro.sim.resources`
+built on top of it.
+
+Simulated time is a ``float`` number of **milliseconds**, matching the
+latency units the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+from repro.errors import ProcessCrashed, SimulationError
+
+__all__ = ["Future", "Timeout", "Process", "Simulator"]
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated milliseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay})"
+
+
+class Future:
+    """A one-shot container for a value produced later in simulated time."""
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("Future.result() called before resolution")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError("Future.exception() called before resolution")
+        return self._exception
+
+    def set_result(self, value: Any) -> None:
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._resolve(None, exc)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError("Future resolved twice")
+        self._done = True
+        self._value = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running generator coroutine inside the simulator.
+
+    The generator's ``return`` value resolves :attr:`future`.  An exception
+    escaping the generator resolves the future with that exception; if no
+    one ever waits on the future, :meth:`Simulator.run` raises
+    :class:`ProcessCrashed` so failures never pass silently.
+    """
+
+    __slots__ = ("sim", "name", "future", "_gen", "_waited_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.future = Future()
+        self._gen = gen
+        self._waited_on = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.future.done() else "running"
+        return f"<Process {self.name} {state}>"
+
+    # -- stepping ---------------------------------------------------------
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        try:
+            if exc is not None:
+                item = self._gen.throw(exc)
+            else:
+                item = self._gen.send(value)
+        except StopIteration as stop:
+            self.future.set_result(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - must capture any crash
+            self.future.set_exception(error)
+            if not self.future._callbacks and not self._waited_on:
+                self.sim._record_crash(self, error)
+            return
+        self._dispatch(item)
+
+    def _dispatch(self, item: Any) -> None:
+        if isinstance(item, Timeout):
+            self.sim.call_later(item.delay, self._step)
+        elif isinstance(item, Future):
+            item.add_done_callback(self._resume_from_future)
+        elif isinstance(item, Process):
+            item._waited_on = True
+            item.future.add_done_callback(self._resume_from_future)
+        else:
+            self._step(exc=SimulationError(
+                f"process {self.name!r} yielded unsupported item {item!r}"))
+
+    def _resume_from_future(self, future: Future) -> None:
+        # Resume on the *current* event, not a new heap entry: waking a
+        # process the instant its dependency resolves keeps causality exact
+        # and avoids same-timestamp ordering ambiguity.
+        exc = future.exception()
+        if exc is not None:
+            self._step(exc=exc)
+        else:
+            self._step(future._value)
+
+
+class Simulator:
+    """Event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._crashes: List[ProcessCrashed] = []
+
+    # -- time -------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        self.call_at(self._now + delay, fn, *args)
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self._now})")
+        self._seq += 1
+        if args:
+            original = fn
+
+            def fn() -> None:
+                original(*args)
+
+        heapq.heappush(self._heap, (when, self._seq, fn))
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start ``gen`` as a process.  Its first step runs *now* (before
+        returning), which keeps spawn-then-wait sequences deterministic."""
+        process = Process(self, gen, name=name)
+        process._step()
+        return process
+
+    # -- running ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, fn = heapq.heappop(self._heap)
+        self._now = when
+        fn()
+        self._raise_crashes()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain events; with ``until`` set, stop once simulated time would
+        pass it (and advance the clock exactly to ``until``)."""
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+        self._raise_crashes()
+
+    def run_until_complete(self, waitable: Any) -> Any:
+        """Drive the loop until ``waitable`` (Process or Future) resolves."""
+        if isinstance(waitable, Process):
+            waitable._waited_on = True
+            future = waitable.future
+        elif isinstance(waitable, Future):
+            future = waitable
+        else:
+            raise SimulationError(
+                f"run_until_complete expects Process or Future, got {waitable!r}")
+        while not future.done():
+            if not self.step():
+                raise SimulationError(
+                    "event heap drained before waitable resolved (deadlock)")
+        return future.result()
+
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    # -- crash bookkeeping --------------------------------------------------
+
+    def _record_crash(self, process: Process, error: BaseException) -> None:
+        self._crashes.append(ProcessCrashed(process.name, error))
+
+    def _raise_crashes(self) -> None:
+        if self._crashes:
+            crash = self._crashes[0]
+            self._crashes = []
+            raise crash
+
+
+def all_of(sim: Simulator, waitables: "List[Any]") -> Future:
+    """A Future that resolves (with the list of results, in input order)
+    once every Process/Future in ``waitables`` has resolved.
+
+    The first exception among them resolves the future with that exception.
+    """
+    result = Future()
+    futures: List[Future] = []
+    for item in waitables:
+        if isinstance(item, Process):
+            item._waited_on = True
+            futures.append(item.future)
+        elif isinstance(item, Future):
+            futures.append(item)
+        else:
+            raise SimulationError(f"all_of expects Process/Future, got {item!r}")
+
+    remaining = len(futures)
+    if remaining == 0:
+        result.set_result([])
+        return result
+
+    state = {"remaining": remaining, "failed": False}
+
+    def on_done(_future: Future) -> None:
+        if state["failed"] or result.done():
+            return
+        exc = _future.exception()
+        if exc is not None:
+            state["failed"] = True
+            result.set_exception(exc)
+            return
+        state["remaining"] -= 1
+        if state["remaining"] == 0:
+            result.set_result([f.result() for f in futures])
+
+    for future in futures:
+        future.add_done_callback(on_done)
+    return result
+
+
+def iter_completed(futures: "List[Future]") -> Iterator[Future]:  # pragma: no cover
+    """Convenience for tests: iterate futures that are already done."""
+    return (f for f in futures if f.done())

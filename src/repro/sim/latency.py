@@ -1,0 +1,93 @@
+"""The latency model: every simulated device cost in one place.
+
+The paper's conclusions rest on two asymmetries of an LSM store:
+
+* a **write** is an in-memory insert plus a sequential WAL append — fast;
+* a **read** may touch several on-disk SSTables with random I/O — slow
+  (the paper: "a read is many times slower than a write").
+
+All costs are in milliseconds of simulated time.  Defaults are calibrated
+so the scheme-relative shapes in the paper's Figures 7–9 hold: a sync-full
+update ≈ 5× a plain base put, a sync-insert update ≈ 2× (§8.2), and reads
+are disk-bound unless they hit the block cache.
+
+Absolute values are *not* meant to match the paper's testbed (two quad-core
+Xeons over HDFS); they are meant to preserve ratios and crossovers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.sim.random import RandomStream
+
+__all__ = ["LatencyModel"]
+
+
+@dataclasses.dataclass
+class LatencyModel:
+    """Milliseconds charged for each primitive action."""
+
+    # Network fabric: one-way propagation for an RPC between two nodes.
+    rpc_one_way_ms: float = 0.15
+    rpc_jitter_ms: float = 0.05
+    # Client <-> server serialisation overhead per request.
+    rpc_cpu_ms: float = 0.02
+
+    # Write path.
+    wal_append_ms: float = 0.35       # sequential I/O, group-committed
+    memtable_op_ms: float = 0.02      # skiplist insert / lookup
+    auq_enqueue_ms: float = 0.005     # in-memory queue append
+
+    # Read path.
+    scan_open_ms: float = 0.5         # per-region scanner setup (CPU, held
+                                      # in the handler slot)
+    block_cache_hit_ms: float = 0.03  # per cached block consulted
+    disk_read_ms: float = 6.0         # random I/O per uncached block
+    bloom_check_ms: float = 0.002     # per SSTable bloom filter probe
+
+    # Background maintenance (charged to the disk resource).
+    flush_per_cell_ms: float = 0.003  # sequential write of a memtable snapshot
+    flush_fixed_ms: float = 2.0
+    compact_per_cell_ms: float = 0.004
+    compact_fixed_ms: float = 4.0
+
+    # Figure 10 knob: RC2 virtual machines were "less powerful ... with a
+    # layer of indirection" — a multiplier over every device cost.
+    virtualization_factor: float = 1.0
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        """A copy with every device cost multiplied by ``factor``."""
+        clone = dataclasses.replace(self)
+        clone.virtualization_factor = self.virtualization_factor * factor
+        return clone
+
+    # -- derived costs ------------------------------------------------------
+
+    def _v(self, cost: float) -> float:
+        return cost * self.virtualization_factor
+
+    def rpc_delay(self, rng: Optional[RandomStream] = None) -> float:
+        jitter = rng.uniform(0.0, self.rpc_jitter_ms) if rng is not None else 0.0
+        return self._v(self.rpc_one_way_ms + jitter)
+
+    def wal_append(self) -> float:
+        return self._v(self.wal_append_ms)
+
+    def memtable_op(self) -> float:
+        return self._v(self.memtable_op_ms)
+
+    def read_cost(self, blocks_from_disk: int, blocks_from_cache: int,
+                  bloom_probes: int, memtable_probes: int) -> float:
+        """Total read service time from the stats an LSMTree read reports."""
+        return self._v(blocks_from_disk * self.disk_read_ms
+                       + blocks_from_cache * self.block_cache_hit_ms
+                       + bloom_probes * self.bloom_check_ms
+                       + memtable_probes * self.memtable_op_ms)
+
+    def flush_cost(self, cells: int) -> float:
+        return self._v(self.flush_fixed_ms + cells * self.flush_per_cell_ms)
+
+    def compact_cost(self, cells: int) -> float:
+        return self._v(self.compact_fixed_ms + cells * self.compact_per_cell_ms)

@@ -1,0 +1,101 @@
+"""Workload definitions: operation mixes over the item table.
+
+A :class:`CoreWorkload` draws operations (update / insert / index read /
+index range / base read) with configured proportions, chooses target rows
+through a YCSB distribution, and knows how to produce the concrete
+request parameters (new column values, query predicates) for each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.sim.random import RandomStream
+from repro.ycsb.distributions import (KeyChooser, ScrambledZipfian, Uniform,
+                                      Zipfian)
+from repro.ycsb.schema import (INDEXED_PRICE_COLUMN, ItemSchema, PRICE_MAX,
+                               PRICE_MIN, TITLE_COLUMN)
+
+__all__ = ["OpType", "CoreWorkload", "make_chooser"]
+
+
+class OpType:
+    UPDATE = "update"
+    INSERT = "insert"
+    INDEX_READ = "index_read"
+    INDEX_RANGE = "index_range"
+    BASE_READ = "base_read"
+
+
+def make_chooser(name: str, item_count: int) -> KeyChooser:
+    if name == "uniform":
+        return Uniform(item_count)
+    if name == "zipfian":
+        return Zipfian(item_count)
+    if name == "scrambled":
+        return ScrambledZipfian(item_count)
+    raise ValueError(f"unknown distribution {name!r}")
+
+
+@dataclasses.dataclass
+class CoreWorkload:
+    schema: ItemSchema
+    proportions: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {OpType.UPDATE: 1.0})
+    distribution: str = "uniform"
+    range_selectivity: float = 0.0001   # fraction of rows a range query hits
+    title_index_name: str = "item_title"
+    price_index_name: str = "item_price"
+
+    def __post_init__(self) -> None:
+        total = sum(self.proportions.values())
+        if total <= 0:
+            raise ValueError("proportions must sum to a positive value")
+        self._cumulative = []
+        acc = 0.0
+        for op, weight in self.proportions.items():
+            acc += weight / total
+            self._cumulative.append((acc, op))
+        self._chooser = make_chooser(self.distribution,
+                                     self.schema.record_count)
+        self._insert_cursor = self.schema.record_count
+
+    # -- drawing operations -------------------------------------------------
+
+    def next_op(self, rng: RandomStream) -> str:
+        draw = rng.random()
+        for threshold, op in self._cumulative:
+            if draw <= threshold:
+                return op
+        return self._cumulative[-1][1]
+
+    def next_rowkey(self, rng: RandomStream) -> bytes:
+        return self.schema.rowkey(self._chooser.next_index(rng))
+
+    def next_insert(self, rng: RandomStream) -> tuple:
+        index = self._insert_cursor
+        self._insert_cursor += 1
+        return self.schema.rowkey(index), self.schema.row_values(index, rng)
+
+    def next_update(self, rng: RandomStream) -> tuple:
+        index = self._chooser.next_index(rng)
+        return (self.schema.rowkey(index),
+                self.schema.update_values(index, rng))
+
+    def next_title_query(self, rng: RandomStream) -> bytes:
+        """An existing title value, for exact-match index reads."""
+        index = self._chooser.next_index(rng)
+        return self.schema.title_for(index)
+
+    def next_price_range(self, rng: RandomStream) -> tuple:
+        """A price interval selecting ``range_selectivity`` of the rows
+        (prices are spread uniformly by construction)."""
+        span = (PRICE_MAX - PRICE_MIN) * self.range_selectivity
+        low = rng.uniform(PRICE_MIN, PRICE_MAX - span)
+        return (self.schema.price_bytes(low),
+                self.schema.price_bytes(low + span))
+
+    @property
+    def expected_range_rows(self) -> int:
+        return max(1, int(self.schema.record_count * self.range_selectivity))

@@ -1,0 +1,80 @@
+"""AdaptivePolicy boundary conditions, without a cluster where possible."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster
+from repro.core import AdaptiveController, AdaptivePolicy, ConsistencyLevel
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=1, seed=45).start()
+    c.create_table("t")
+    c.create_index(IndexDescriptor("ix", "t", ("c",),
+                                   scheme=IndexScheme.SYNC_INSERT))
+    return c
+
+
+def make(cluster, **kwargs):
+    policy = AdaptivePolicy(window_ops=20, min_ops_to_act=4, cooldown_ops=4,
+                            **kwargs)
+    return AdaptiveController(cluster, "ix", ConsistencyLevel.EVENTUAL,
+                              policy=policy)
+
+
+def test_empty_window_is_neutral(cluster):
+    ctrl = make(cluster)
+    assert ctrl.update_fraction == 0.5
+    # neutral zone keeps the current scheme
+    assert ctrl.recommend() is IndexScheme.SYNC_INSERT
+
+
+def test_window_slides(cluster):
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()
+    assert ctrl.update_fraction == 1.0
+    for _ in range(20):
+        ctrl.observe_read()      # pushes all updates out of the window
+    assert ctrl.update_fraction == 0.0
+
+
+def test_thresholds_are_boundaries(cluster):
+    ctrl = make(cluster, write_heavy_threshold=0.7,
+                read_heavy_threshold=0.3)
+    for _ in range(14):
+        ctrl.observe_update()
+    for _ in range(6):
+        ctrl.observe_read()
+    assert ctrl.update_fraction == pytest.approx(0.7)
+    assert ctrl.recommend() is IndexScheme.ASYNC_SIMPLE   # >= threshold
+    ctrl.observe_read()   # 13/20 updates after slide? recompute below
+    assert ctrl.recommend() in (IndexScheme.ASYNC_SIMPLE,
+                                IndexScheme.SYNC_INSERT,
+                                IndexScheme.SYNC_FULL)
+
+
+def test_causal_class_alternates_between_sync_schemes(cluster):
+    policy = AdaptivePolicy(window_ops=20, min_ops_to_act=4, cooldown_ops=0)
+    ctrl = AdaptiveController(cluster, "ix", ConsistencyLevel.CAUSAL,
+                              policy=policy)
+    for _ in range(20):
+        ctrl.observe_update()
+    decision = ctrl.evaluate()
+    assert cluster.index_descriptor("ix").scheme is IndexScheme.SYNC_INSERT
+    for _ in range(20):
+        ctrl.observe_read()
+    decision = ctrl.evaluate()
+    assert decision.recommended is IndexScheme.SYNC_FULL
+    assert cluster.index_descriptor("ix").scheme is IndexScheme.SYNC_FULL
+
+
+def test_decision_reports_fields(cluster):
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()
+    decision = ctrl.evaluate()
+    assert decision.index_name == "ix"
+    assert decision.update_fraction == 1.0
+    assert decision.is_switch
+    assert decision.acted

@@ -1,0 +1,41 @@
+"""The ``python -m repro.bench`` experiment runner CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.__main__ import RUNNERS, main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure7" in out and "table2" in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_runs_one_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "LSM" in out and "B+Tree" in out
+
+
+def test_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "results.txt"
+    assert main(["index-vs-scan", "--out", str(target)]) == 0
+    content = target.read_text()
+    assert "speedup" in content
+
+
+def test_all_names_have_runners():
+    for name, runner in RUNNERS.items():
+        assert callable(runner), name

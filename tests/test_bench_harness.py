@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.bench import (Experiment, ExperimentConfig, Series, format_series,
+                         format_table)
+from repro.bench.experiments import table1_lsm_vs_btree
+from repro.bench.harness import SCHEME_LABELS, scheme_from_label
+from repro.core import IndexScheme, check_index
+from repro.ycsb import OpType
+
+
+def tiny(label="full", **over):
+    return ExperimentConfig(num_servers=2, record_count=120,
+                            title_cardinality=24, regions_per_server=1,
+                            index_regions=1, scheme_label=label, **over)
+
+
+def test_scheme_labels():
+    assert scheme_from_label("null") is None
+    assert scheme_from_label("full") is IndexScheme.SYNC_FULL
+    assert scheme_from_label("insert") is IndexScheme.SYNC_INSERT
+    assert scheme_from_label("async") is IndexScheme.ASYNC_SIMPLE
+    assert set(SCHEME_LABELS) == {"null", "insert", "full", "async",
+                                  "session"}
+
+
+def test_experiment_builds_and_loads():
+    exp = Experiment(tiny())
+    client = exp.cluster.new_client()
+    row = exp.cluster.run(client.get(exp.TABLE, exp.schema.rowkey(0)))
+    assert len(row) == 10
+    assert check_index(exp.cluster, "item_title").is_consistent
+
+
+def test_experiment_null_scheme_has_no_index():
+    exp = Experiment(tiny("null"))
+    assert not exp.cluster.descriptor(exp.TABLE).has_indexes
+
+
+def test_experiment_price_index_optional():
+    exp = Experiment(tiny(with_price_index=True))
+    assert exp.cluster.index_descriptor("item_price") is not None
+
+
+def test_run_closed_produces_stats():
+    exp = Experiment(tiny())
+    result = exp.run_closed({OpType.UPDATE: 1.0}, num_threads=2,
+                            duration_ms=200.0, warmup_ms=50.0)
+    stats = result.stats(OpType.UPDATE)
+    assert stats.count > 0 and stats.mean_ms > 0
+    assert result.failed == 0
+
+
+def test_run_open_produces_stats():
+    exp = Experiment(tiny("async"))
+    result = exp.run_open({OpType.UPDATE: 1.0}, target_tps=200.0,
+                          duration_ms=400.0, warmup_ms=0.0)
+    assert result.stats(OpType.UPDATE).count > 0
+
+
+def test_warm_index_cache_runs():
+    exp = Experiment(tiny())
+    base = exp.cluster.counters.snapshot()
+    exp.warm_index_cache(queries=20)
+    assert exp.cluster.counters.since(base).index_read == 20
+
+
+def test_virtualization_scales_model():
+    exp = Experiment(tiny(virtualization_factor=2.0))
+    assert exp.cluster.model.virtualization_factor == pytest.approx(2.0)
+
+
+def test_table1_shapes():
+    lsm, btree = table1_lsm_vs_btree(num_rows=800, num_reads=200)
+    assert lsm.write_mean_ms < btree.write_mean_ms
+    assert lsm.read_mean_ms > lsm.write_mean_ms
+
+
+# -- reporting -------------------------------------------------------------------
+
+def test_format_table_aligns():
+    out = format_table(["a", "long-header"], [[1, 2], ["xxx", "y"]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert len(lines) == 5
+
+
+def test_series_render_and_access():
+    series = Series("S", "x", "y")
+    series.add("curve", 1, 2.0)
+    series.add("curve", 2, 3.0)
+    assert series.curve("curve") == [(1, 2.0), (2, 3.0)]
+    assert series.curve("nope") == []
+    text = format_series(series)
+    assert "S" in text and "curve" in text

@@ -1,0 +1,48 @@
+"""Unit tests for the bloom filter (SSTable read-skipping)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import BloomFilter
+
+
+def test_no_false_negatives():
+    keys = [f"key{i}".encode() for i in range(500)]
+    bloom = BloomFilter.build(keys, expected_items=500)
+    assert all(bloom.might_contain(k) for k in keys)
+
+
+def test_false_positive_rate_near_target():
+    keys = [f"key{i}".encode() for i in range(2000)]
+    bloom = BloomFilter.build(keys, expected_items=2000,
+                              false_positive_rate=0.01)
+    probes = [f"absent{i}".encode() for i in range(2000)]
+    fp = sum(bloom.might_contain(p) for p in probes)
+    assert fp / len(probes) < 0.05   # generous bound over the 1% target
+
+
+def test_empty_filter_rejects():
+    bloom = BloomFilter(expected_items=10)
+    assert not bloom.might_contain(b"anything")
+
+
+def test_sizing_grows_with_items_and_precision():
+    small = BloomFilter(expected_items=100, false_positive_rate=0.1)
+    big = BloomFilter(expected_items=10_000, false_positive_rate=0.1)
+    precise = BloomFilter(expected_items=100, false_positive_rate=0.001)
+    assert big.num_bits > small.num_bits
+    assert precise.num_bits > small.num_bits
+
+
+def test_invalid_fp_rate():
+    import pytest
+    with pytest.raises(ValueError):
+        BloomFilter(expected_items=10, false_positive_rate=1.5)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=200,
+                unique=True))
+def test_property_membership(keys):
+    bloom = BloomFilter.build(keys, expected_items=len(keys))
+    assert all(bloom.might_contain(k) for k in keys)

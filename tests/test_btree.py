@@ -1,0 +1,108 @@
+"""The B+Tree baseline (Table 1 comparator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+
+
+def test_empty():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.get(b"x") is None
+    assert b"x" not in tree
+
+
+def test_put_get():
+    tree = BPlusTree(order=4)
+    for i in range(50):
+        tree.put(f"k{i:03d}".encode(), f"v{i}".encode())
+    assert len(tree) == 50
+    for i in range(50):
+        assert tree.get(f"k{i:03d}".encode()) == f"v{i}".encode()
+
+
+def test_in_place_update():
+    tree = BPlusTree()
+    tree.put(b"k", b"v1")
+    tree.put(b"k", b"v2")
+    assert len(tree) == 1
+    assert tree.get(b"k") == b"v2"
+
+
+def test_delete():
+    tree = BPlusTree(order=4)
+    for i in range(20):
+        tree.put(f"k{i:02d}".encode(), b"v")
+    assert tree.delete(b"k05") is True
+    assert tree.delete(b"k05") is False
+    assert tree.get(b"k05") is None
+    assert len(tree) == 19
+
+
+def test_splits_grow_height():
+    tree = BPlusTree(order=4)
+    for i in range(200):
+        tree.put(f"k{i:04d}".encode(), b"v")
+    assert tree.height >= 3
+    assert tree.get(b"k0150") == b"v"
+
+
+def test_scan_ordered():
+    tree = BPlusTree(order=4)
+    import random
+    keys = [f"k{i:03d}".encode() for i in range(60)]
+    shuffled = keys[:]
+    random.Random(3).shuffle(shuffled)
+    for key in shuffled:
+        tree.put(key, key)
+    assert [k for k, _ in tree.items()] == keys
+    assert [k for k, _ in tree.scan(b"k010", b"k015")] == keys[10:15]
+
+
+def test_io_tally_counts_reads_and_writes():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.put(f"k{i:03d}".encode(), b"v")
+    tree.tally.reset()
+    tree.get(b"k050")
+    tally = tree.tally.reset()
+    assert tally.pages_read == tree.height
+    assert tally.pages_written == 0
+    tree.put(b"k050", b"v2")     # in-place update: traverse + 1 page write
+    tally = tree.tally.reset()
+    assert tally.pages_written == 1
+    assert tally.pages_read == tree.height
+
+
+def test_order_too_small_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+@settings(max_examples=40)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8),
+                       st.binary(max_size=8), max_size=120))
+def test_property_matches_dict(model):
+    tree = BPlusTree(order=6)
+    for key, value in model.items():
+        tree.put(key, value)
+    assert len(tree) == len(model)
+    assert [k for k, _ in tree.items()] == sorted(model)
+    for key, value in model.items():
+        assert tree.get(key) == value
+
+
+@settings(max_examples=30)
+@given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=60,
+                unique=True), st.data())
+def test_property_delete_random_subset(keys, data):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.put(key, key)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+    for key in to_delete:
+        assert tree.delete(key)
+    remaining = sorted(set(keys) - set(to_delete))
+    assert [k for k, _ in tree.items()] == remaining

@@ -1,0 +1,67 @@
+"""Unit tests for the LRU block cache."""
+
+from repro.lsm import BlockCache
+
+
+def test_miss_then_hit():
+    cache = BlockCache(1000)
+    assert cache.access(("t", 1), 100) is False
+    assert cache.access(("t", 1), 100) is True
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_eviction_is_lru():
+    cache = BlockCache(300)
+    cache.access(("a",), 100)
+    cache.access(("b",), 100)
+    cache.access(("c",), 100)
+    cache.access(("a",), 100)     # refresh a
+    cache.access(("d",), 100)     # evicts b (least recently used)
+    assert cache.access(("a",), 100) is True
+    assert cache.access(("b",), 100) is False
+    assert cache.evictions >= 1
+
+
+def test_capacity_respected():
+    cache = BlockCache(250)
+    for i in range(10):
+        cache.access(("blk", i), 100)
+    assert cache.used_bytes <= 250
+    assert len(cache) <= 2
+
+
+def test_oversized_block_never_cached():
+    cache = BlockCache(100)
+    assert cache.access(("huge",), 500) is False
+    assert cache.access(("huge",), 500) is False  # still a miss
+    assert cache.used_bytes == 0
+
+
+def test_invalidate_sstable_drops_only_its_blocks():
+    cache = BlockCache(10_000)
+    cache.access((1, 0), 100)
+    cache.access((1, 1), 100)
+    cache.access((2, 0), 100)
+    cache.invalidate_sstable(1)
+    assert cache.access((2, 0), 100) is True
+    assert cache.access((1, 0), 100) is False
+
+
+def test_hit_rate():
+    cache = BlockCache(1000)
+    cache.access(("x",), 10)
+    cache.access(("x",), 10)
+    cache.access(("x",), 10)
+    assert abs(cache.hit_rate() - 2 / 3) < 1e-9
+
+
+def test_zero_capacity_caches_nothing():
+    cache = BlockCache(0)
+    assert cache.access(("x",), 1) is False
+    assert cache.access(("x",), 1) is False
+
+
+def test_negative_capacity_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        BlockCache(-1)

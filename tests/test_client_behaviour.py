@@ -1,0 +1,96 @@
+"""Client-library behaviour: routing cache, retries, validation, scans."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, KeyRange, MiniCluster
+from repro.errors import ClusterError, NoSuchTableError, ServerDownError
+
+
+@pytest.fixture
+def cluster():
+    return MiniCluster(num_servers=3, seed=29,
+                       heartbeat_timeout_ms=800.0).start()
+
+
+def test_row_key_validation(cluster):
+    cluster.create_table("t")
+    client = cluster.new_client()
+    with pytest.raises(ClusterError):
+        cluster.run(client.put("t", b"\x00reserved", {"a": b"1"}))
+    with pytest.raises(ClusterError):
+        cluster.run(client.put("t", b"", {"a": b"1"}))
+    with pytest.raises(ClusterError):
+        cluster.run(client.delete("t", b"\x00x", columns=["a"]))
+
+
+def test_stale_layout_refreshes_transparently(cluster):
+    """A client created before a table exists (or before a region moves)
+    recovers by refreshing its partition map."""
+    client = cluster.new_client()
+    cluster.create_table("t", split_keys=[b"m"])
+    cluster.run(client.put("t", b"a", {"x": b"1"}))
+    victim = cluster.master.locate("t", b"a").server_name
+    cluster.kill_server(victim)
+    # Client still has the old route; the retry loop refreshes it.
+    cluster.run(client.put("t", b"a", {"x": b"2"}))
+    assert client.route_refreshes >= 1
+    assert cluster.run(client.get("t", b"a"))["x"][0] == b"2"
+
+
+def test_retries_exhaust_eventually():
+    """With no coordinator running, a dead route can never heal; the
+    client gives up after max_route_retries."""
+    cluster = MiniCluster(num_servers=1, seed=30)   # .start() NOT called
+    cluster.create_table("t")
+    client = cluster.new_client(name="impatient")
+    client.max_route_retries = 3
+    client.retry_backoff_ms = 1.0
+    cluster.kill_server("rs1")
+    with pytest.raises(ServerDownError):
+        cluster.run(client.put("t", b"r", {"a": b"1"}))
+
+
+def test_scan_unknown_table(cluster):
+    client = cluster.new_client()
+    with pytest.raises(NoSuchTableError):
+        cluster.run(client.scan_table("ghost", KeyRange()))
+
+
+def test_scan_survives_server_loss(cluster):
+    cluster.create_table("t", split_keys=[b"m"])
+    client = cluster.new_client()
+    for key in (b"a", b"z"):
+        cluster.run(client.put("t", key, {"x": key}))
+    victim = cluster.master.locate("t", b"a").server_name
+    cluster.kill_server(victim)
+    cells = cluster.run(client.scan_table("t", KeyRange()))
+    rows = sorted({c.key.split(b"\x00")[0] for c in cells})
+    assert rows == [b"a", b"z"]
+
+
+def test_two_clients_are_independent(cluster):
+    cluster.create_table("t")
+    c1, c2 = cluster.new_client("c1"), cluster.new_client("c2")
+    cluster.run(c1.put("t", b"r", {"a": b"1"}))
+    assert cluster.run(c2.get("t", b"r"))["a"][0] == b"1"
+    assert c1.name != c2.name
+
+
+def test_sessions_tracked_per_client(cluster):
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor(
+        "ix", "t", ("a",), scheme=IndexScheme.ASYNC_SESSION))
+    client = cluster.new_client()
+    s1, s2 = client.get_session(), client.get_session()
+    assert s1.session_id != s2.session_id
+    client.end_session(s1)
+    assert s1.ended and not s2.ended
+
+
+def test_put_returns_monotonic_timestamps(cluster):
+    cluster.create_table("t")
+    client = cluster.new_client()
+    ts1 = cluster.run(client.put("t", b"r", {"a": b"1"}))
+    ts2 = cluster.run(client.put("t", b"r", {"a": b"2"}))
+    ts3 = cluster.run(client.put("t", b"other", {"a": b"3"}))
+    assert ts1 < ts2 < ts3

@@ -1,0 +1,183 @@
+"""Integration tests for the distributed substrate: DDL, routing, CRUD,
+scans, timestamps, partition-map refresh."""
+
+import pytest
+
+from repro import KeyRange, MiniCluster
+from repro.errors import (NoSuchRegionError, NoSuchTableError,
+                          TableExistsError)
+
+
+@pytest.fixture
+def cluster():
+    return MiniCluster(num_servers=3, seed=1).start()
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+def test_create_table_and_roundtrip(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"row1", {"a": b"1", "b": b"2"}))
+    row = cluster.run(client.get("t", b"row1"))
+    assert row["a"][0] == b"1"
+    assert row["b"][0] == b"2"
+
+
+def test_duplicate_table_rejected(cluster):
+    cluster.create_table("t")
+    with pytest.raises(TableExistsError):
+        cluster.create_table("t")
+
+
+def test_missing_table_rejected(cluster, client):
+    with pytest.raises(NoSuchTableError):
+        cluster.run(client.put("missing", b"r", {"a": b"1"}))
+
+
+def test_get_missing_row_returns_empty(cluster, client):
+    cluster.create_table("t")
+    assert cluster.run(client.get("t", b"ghost")) == {}
+
+
+def test_get_specific_columns(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"r", {"a": b"1", "b": b"2", "c": b"3"}))
+    row = cluster.run(client.get("t", b"r", columns=["a", "c"]))
+    assert set(row) == {"a", "c"}
+
+
+def test_put_overwrites_column(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"r", {"a": b"old"}))
+    cluster.run(client.put("t", b"r", {"a": b"new"}))
+    assert cluster.run(client.get("t", b"r"))["a"][0] == b"new"
+
+
+def test_partial_update_keeps_other_columns(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"r", {"a": b"1", "b": b"2"}))
+    cluster.run(client.put("t", b"r", {"a": b"9"}))
+    row = cluster.run(client.get("t", b"r"))
+    assert row["a"][0] == b"9"
+    assert row["b"][0] == b"2"
+
+
+def test_delete_columns(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"r", {"a": b"1", "b": b"2"}))
+    cluster.run(client.delete("t", b"r", columns=["a"]))
+    row = cluster.run(client.get("t", b"r"))
+    assert "a" not in row
+    assert row["b"][0] == b"2"
+
+
+def test_versioned_get(cluster, client):
+    cluster.create_table("t", max_versions=5)
+    ts1 = cluster.run(client.put("t", b"r", {"a": b"v1"}))
+    ts2 = cluster.run(client.put("t", b"r", {"a": b"v2"}))
+    assert ts2 > ts1
+    old = cluster.run(client.get("t", b"r", max_ts=ts1))
+    assert old["a"][0] == b"v1"
+
+
+def test_timestamps_strictly_increase_per_server(cluster):
+    server = next(iter(cluster.servers.values()))
+    stamps = [server.assign_timestamp() for _ in range(100)]
+    assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+
+def test_presplit_regions_distributed(cluster, client):
+    infos = cluster.master.create_table.__self__  # master
+    cluster.create_table("t", split_keys=[b"g", b"p"])
+    layout = cluster.master.layout["t"]
+    assert len(layout) == 3
+    servers = {info.server_name for info in layout}
+    assert len(servers) == 3  # round-robin over the 3 servers
+    # routing respects the splits
+    for row, region_idx in [(b"a", 0), (b"g", 1), (b"m", 1), (b"z", 2)]:
+        assert cluster.master.locate("t", row) is layout[region_idx]
+
+
+def test_puts_route_to_correct_region(cluster, client):
+    cluster.create_table("t", split_keys=[b"m"])
+    cluster.run(client.put("t", b"apple", {"x": b"1"}))
+    cluster.run(client.put("t", b"zebra", {"x": b"2"}))
+    layout = cluster.master.layout["t"]
+    r0 = cluster.servers[layout[0].server_name].regions[layout[0].region_name]
+    r1 = cluster.servers[layout[1].server_name].regions[layout[1].region_name]
+    assert len(list(r0.iter_base_rows())) == 1
+    assert len(list(r1.iter_base_rows())) == 1
+
+
+def test_scan_across_regions_in_order(cluster, client):
+    cluster.create_table("t", split_keys=[b"m"])
+    for key in [b"zz", b"aa", b"mm", b"bb"]:
+        cluster.run(client.put("t", key, {"x": key}))
+    cells = cluster.run(client.scan_table("t", KeyRange(b"", None)))
+    rows = [c.key.split(b"\x00")[0] for c in cells]
+    assert rows == [b"aa", b"bb", b"mm", b"zz"]
+
+
+def test_scan_with_limit(cluster, client):
+    cluster.create_table("t")
+    for i in range(10):
+        cluster.run(client.put("t", f"r{i}".encode(), {"x": b"1"}))
+    cells = cluster.run(client.scan_table("t", KeyRange(b"", None), limit=3))
+    assert len(cells) == 3
+
+
+def test_client_layout_refresh_on_new_table(cluster):
+    client = cluster.new_client()     # snapshot taken before the table
+    cluster.create_table("late")
+    cluster.run(client.put("late", b"r", {"a": b"1"}))
+    assert cluster.run(client.get("late", b"r"))["a"][0] == b"1"
+
+
+def test_drop_table_removes_regions(cluster, client):
+    cluster.create_table("t")
+    cluster.run(client.put("t", b"r", {"a": b"1"}))
+    cluster.master.drop_table("t")
+    with pytest.raises(NoSuchTableError):
+        cluster.master.locate("t", b"r")
+    assert not any(region.table.name == "t"
+                   for server in cluster.servers.values()
+                   for region in server.regions.values())
+
+
+def test_flush_persists_to_hdfs(cluster, client):
+    cluster.create_table("small", flush_threshold_bytes=512)
+    for i in range(40):
+        cluster.run(client.put("small", f"r{i:03d}".encode(),
+                               {"x": b"v" * 50}))
+    cluster.advance(500)   # let the maintenance loop flush
+    flushed = sum(s.flushes_completed for s in cluster.servers.values())
+    assert flushed > 0
+    assert cluster.hdfs.total_store_bytes > 0
+    # data still readable after flush
+    assert cluster.run(client.get("small", b"r000"))["x"][0] == b"v" * 50
+
+
+def test_compaction_runs_under_write_load(cluster, client):
+    cluster.create_table("small", flush_threshold_bytes=400)
+    for round_ in range(6):
+        for i in range(12):
+            cluster.run(client.put("small", f"r{i:03d}".encode(),
+                                   {"x": bytes([round_]) * 40}))
+        cluster.advance(300)
+    compactions = sum(s.compactions_completed
+                      for s in cluster.servers.values())
+    assert compactions > 0
+    assert cluster.run(client.get("small", b"r000"))["x"][0][0] == 5
+
+
+def test_counters_track_base_ops(cluster, client):
+    cluster.create_table("t")
+    base = cluster.counters.snapshot()
+    cluster.run(client.put("t", b"r", {"a": b"1"}))
+    cluster.run(client.get("t", b"r"))
+    diff = cluster.counters.since(base)
+    assert diff.base_put == 1
+    assert diff.base_read == 1

@@ -1,0 +1,124 @@
+"""Dedicated compaction tests (policy + pure merge function)."""
+
+import pytest
+
+from repro.lsm import Cell, CompactionPolicy, SSTableBuilder, compact_sstables
+
+
+def build(cells):
+    builder = SSTableBuilder(block_bytes=256)
+    builder.add_all(sorted(cells, key=lambda c: (c.key, -c.ts)))
+    return builder.finish()
+
+
+def test_policy_below_threshold_does_nothing():
+    policy = CompactionPolicy(min_files=4)
+    tables = [build([Cell(b"a", i + 1, b"v")]) for i in range(3)]
+    chosen, _major = policy.pick(tables, compactions_done=0)
+    assert chosen == []
+
+
+def test_policy_minor_takes_oldest_files():
+    policy = CompactionPolicy(min_files=2, max_files=2, major_every=100)
+    tables = [build([Cell(b"a", 10, b"new")]),
+              build([Cell(b"a", 5, b"mid")]),
+              build([Cell(b"a", 1, b"old")])]
+    chosen, major = policy.pick(tables, compactions_done=0)
+    assert chosen == tables[-2:]
+    assert not major
+
+
+def test_policy_major_every_n():
+    policy = CompactionPolicy(min_files=2, max_files=2, major_every=3)
+    tables = [build([Cell(b"a", i + 1, b"v")]) for i in range(4)]
+    assert policy.pick(tables, compactions_done=0)[1] is False
+    assert policy.pick(tables, compactions_done=2)[1] is True
+
+
+def test_minor_that_covers_everything_counts_as_major():
+    policy = CompactionPolicy(min_files=2, max_files=10, major_every=100)
+    tables = [build([Cell(b"a", i + 1, b"v")]) for i in range(2)]
+    _chosen, major = policy.pick(tables, compactions_done=0)
+    assert major    # the merge set covers all files
+
+
+def test_merge_keeps_newest_versions():
+    t1 = build([Cell(b"a", 3, b"new")])
+    t2 = build([Cell(b"a", 1, b"old"), Cell(b"b", 1, b"b1")])
+    result = compact_sstables([t1, t2], max_versions=1, major=True,
+                              block_bytes=256)
+    cells = list(result.output.all_cells())
+    assert [(c.key, c.ts) for c in cells] == [(b"a", 3), (b"b", 1)]
+    assert result.dropped_versions == 1
+
+
+def test_major_drops_tombstone_and_masked():
+    t1 = build([Cell(b"a", 2, None)])
+    t2 = build([Cell(b"a", 1, b"dead"), Cell(b"b", 1, b"live")])
+    result = compact_sstables([t1, t2], max_versions=3, major=True,
+                              block_bytes=256)
+    cells = list(result.output.all_cells())
+    assert [c.key for c in cells] == [b"b"]
+    assert result.dropped_tombstones == 1
+
+
+def test_minor_keeps_newest_tombstone_only():
+    t1 = build([Cell(b"a", 5, None), Cell(b"a", 3, None)])
+    t2 = build([Cell(b"a", 1, b"masked")])
+    result = compact_sstables([t1, t2], max_versions=3, major=False,
+                              block_bytes=256)
+    cells = list(result.output.all_cells())
+    assert len(cells) == 1
+    assert cells[0].is_tombstone and cells[0].ts == 5
+
+
+def test_minor_drops_masked_values_safely():
+    """Masked values can go in a minor compaction as long as the
+    tombstone survives to keep masking older files."""
+    t1 = build([Cell(b"a", 4, None), Cell(b"a", 2, b"masked")])
+    result = compact_sstables([t1], max_versions=3, major=False,
+                              block_bytes=256)
+    cells = list(result.output.all_cells())
+    assert all(c.is_tombstone for c in cells)
+
+
+def test_everything_dropped_returns_no_output():
+    t1 = build([Cell(b"a", 2, None), Cell(b"a", 1, b"v")])
+    result = compact_sstables([t1], max_versions=3, major=True,
+                              block_bytes=256)
+    assert result.output is None
+    assert result.cells_written == 0
+
+
+def test_version_retention_limit():
+    t1 = build([Cell(b"a", ts, b"v%d" % ts) for ts in (5, 4, 3, 2, 1)])
+    result = compact_sstables([t1], max_versions=2, major=True,
+                              block_bytes=256)
+    cells = list(result.output.all_cells())
+    assert [c.ts for c in cells] == [5, 4]
+
+
+def test_duplicate_ts_deduplicated():
+    """Crash-replay duplicates (same key, same ts) collapse to one cell."""
+    t1 = build([Cell(b"a", 1, b"v")])
+    t2 = build([Cell(b"a", 1, b"v")])
+    result = compact_sstables([t1, t2], max_versions=3, major=True,
+                              block_bytes=256)
+    assert result.output.cell_count == 1
+
+
+def test_merge_preserves_key_order_across_tables():
+    t1 = build([Cell(b"b", 1, b"v"), Cell(b"d", 1, b"v")])
+    t2 = build([Cell(b"a", 1, b"v"), Cell(b"c", 1, b"v")])
+    result = compact_sstables([t1, t2], max_versions=1, major=True,
+                              block_bytes=256)
+    keys = [c.key for c in result.output.all_cells()]
+    assert keys == [b"a", b"b", b"c", b"d"]
+
+
+def test_counts_reported():
+    t1 = build([Cell(b"a", 2, b"new"), Cell(b"a", 1, b"old")])
+    result = compact_sstables([t1], max_versions=1, major=True,
+                              block_bytes=256)
+    assert result.cells_read == 2
+    assert result.cells_written == 1

@@ -1,0 +1,156 @@
+"""Property-based end-to-end consistency tests (DESIGN.md §6).
+
+Hypothesis drives random operation histories (puts/deletes over a small
+row space) against every scheme and checks the paper's consistency
+contracts:
+
+* sync-full  — the index is exactly consistent after every history;
+* sync-insert — never missing; reads never return stale rows;
+* async-*    — exactly consistent after quiesce (eventual consistency).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.core.verify import expected_entries
+
+ROWS = [f"r{i}".encode() for i in range(6)]
+VALUES = [f"v{i}".encode() for i in range(4)]
+
+# op = (row_idx, value_idx or None-for-delete)
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, len(ROWS) - 1),
+              st.one_of(st.none(), st.integers(0, len(VALUES) - 1))),
+    min_size=1, max_size=25)
+
+relaxed = settings(max_examples=12, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.data_too_large])
+
+
+def apply_history(scheme, history, seed=0):
+    cluster = MiniCluster(num_servers=3, seed=seed).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",), scheme=scheme))
+    client = cluster.new_client()
+
+    def driver():
+        for row_idx, value_idx in history:
+            if value_idx is None:
+                yield from client.delete("t", ROWS[row_idx], columns=["c"])
+            else:
+                yield from client.put("t", ROWS[row_idx],
+                                      {"c": VALUES[value_idx]})
+
+    cluster.run(driver(), name="history")
+    return cluster, client
+
+
+def model_state(history):
+    """The oracle: final value per row."""
+    state = {}
+    for row_idx, value_idx in history:
+        if value_idx is None:
+            state.pop(ROWS[row_idx], None)
+        else:
+            state[ROWS[row_idx]] = VALUES[value_idx]
+    return state
+
+
+@relaxed
+@given(ops_strategy)
+def test_sync_full_always_consistent(history):
+    cluster, _client = apply_history(IndexScheme.SYNC_FULL, history)
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, (history, report)
+
+
+@relaxed
+@given(ops_strategy)
+def test_sync_full_queries_match_model(history):
+    cluster, client = apply_history(IndexScheme.SYNC_FULL, history)
+    state = model_state(history)
+    for value in VALUES:
+        expect = sorted(r for r, v in state.items() if v == value)
+        got = sorted(h.rowkey for h in cluster.run(
+            client.get_by_index("ix", equals=[value])))
+        assert got == expect, (history, value)
+
+
+@relaxed
+@given(ops_strategy)
+def test_sync_insert_never_missing_and_reads_never_stale(history):
+    cluster, client = apply_history(IndexScheme.SYNC_INSERT, history)
+    report = check_index(cluster, "ix")
+    assert not report.missing, (history, report)
+    state = model_state(history)
+    for value in VALUES:
+        expect = sorted(r for r, v in state.items() if v == value)
+        got = sorted(h.rowkey for h in cluster.run(
+            client.get_by_index("ix", equals=[value])))
+        assert got == expect, (history, value)
+
+
+@relaxed
+@given(ops_strategy)
+def test_async_eventually_consistent(history):
+    cluster, _client = apply_history(IndexScheme.ASYNC_SIMPLE, history)
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, (history, report)
+
+
+@relaxed
+@given(ops_strategy, st.integers(0, 3))
+def test_async_consistent_even_after_crash(history, victim_idx):
+    cluster, _client = apply_history(IndexScheme.ASYNC_SIMPLE, history,
+                                     seed=victim_idx)
+    victims = list(cluster.servers)
+    victim = victims[victim_idx % len(victims)]
+    cluster.kill_server(victim)
+    while victim not in cluster.coordinator.recoveries_completed:
+        cluster.advance(200.0)
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, (history, victim, report)
+
+
+@relaxed
+@given(ops_strategy)
+def test_expected_entries_match_model(history):
+    """The verification oracle itself agrees with the naive model."""
+    cluster, _client = apply_history(IndexScheme.SYNC_FULL, history)
+    state = model_state(history)
+    index = cluster.index_descriptor("ix")
+    expected = expected_entries(cluster, index)
+    assert len(expected) == len(state)
+
+
+@relaxed
+@given(ops_strategy, st.data())
+def test_crash_at_random_point_mid_history(history, data):
+    """Split a random history at a random point, crash a random server at
+    the split, finish the rest of the history while recovery runs — the
+    index must still converge exactly."""
+    split = data.draw(st.integers(0, len(history)))
+    victim_idx = data.draw(st.integers(0, 2))
+    cluster, client = apply_history(IndexScheme.ASYNC_SIMPLE,
+                                    history[:split], seed=split)
+    victim = list(cluster.servers)[victim_idx % len(cluster.servers)]
+    cluster.kill_server(victim)
+
+    def rest():
+        for row_idx, value_idx in history[split:]:
+            if value_idx is None:
+                yield from client.delete("t", ROWS[row_idx], columns=["c"])
+            else:
+                yield from client.put("t", ROWS[row_idx],
+                                      {"c": VALUES[value_idx]})
+
+    cluster.run(rest(), name="post-crash")
+    while victim not in cluster.coordinator.recoveries_completed:
+        cluster.advance(200.0)
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, (history, split, victim, report)

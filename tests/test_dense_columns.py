@@ -1,0 +1,131 @@
+"""Dense columns (§7): packing, unpacking, order, and dense-field indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.core import DenseColumnCodec, DenseField, encode_value
+from repro.errors import EncodingError
+
+CODEC = DenseColumnCodec([
+    DenseField("city", "str"),
+    DenseField("stars", "int"),
+    DenseField("price", "float"),
+])
+
+
+def test_pack_unpack_roundtrip():
+    values = {"city": "NYC", "stars": 4, "price": 24.5}
+    packed = CODEC.pack(values)
+    out = CODEC.unpack(packed)
+    assert out == {"city": b"NYC", "stars": 4, "price": 24.5}
+
+
+def test_missing_fields_pack_as_null():
+    packed = CODEC.pack({"stars": 3})
+    out = CODEC.unpack(packed)
+    assert out["city"] is None
+    assert out["stars"] == 3
+    assert out["price"] is None
+
+
+def test_unpack_single_field():
+    packed = CODEC.pack({"city": "LA", "stars": 5, "price": 9.0})
+    assert CODEC.unpack_field(packed, "stars") == 5
+    assert CODEC.unpack_field(packed, "price") == 9.0
+
+
+def test_type_checking():
+    with pytest.raises(EncodingError):
+        CODEC.pack({"stars": "not-an-int"})
+    with pytest.raises(EncodingError):
+        CODEC.pack({"price": 3})       # int where float expected
+    with pytest.raises(EncodingError):
+        CODEC.pack({"stars": True})    # bools are not ints here
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(EncodingError):
+        CODEC.pack({"nope": 1})
+    with pytest.raises(EncodingError):
+        CODEC.unpack_field(CODEC.pack({}), "nope")
+
+
+def test_codec_validation():
+    with pytest.raises(EncodingError):
+        DenseColumnCodec([])
+    with pytest.raises(EncodingError):
+        DenseColumnCodec([DenseField("a", "int"), DenseField("a", "str")])
+    with pytest.raises(EncodingError):
+        DenseField("x", "blob")
+
+
+def test_leading_field_order_preserved():
+    """Packed dense columns sort by the first field — handy for rowkeys."""
+    a = CODEC.pack({"city": "Atlanta", "stars": 9})
+    b = CODEC.pack({"city": "Boston", "stars": 0})
+    assert a < b
+
+
+@settings(max_examples=60)
+@given(st.integers(-(2 ** 40), 2 ** 40),
+       st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_property_roundtrip(stars, price):
+    packed = CODEC.pack({"stars": stars, "price": float(price)})
+    out = CODEC.unpack(packed)
+    assert out["stars"] == stars
+    assert out["price"] == float(price)
+
+
+# -- dense-field secondary index end-to-end -------------------------------------
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=2, seed=19).start()
+    c.create_table("biz")
+    c.create_index(IndexDescriptor(
+        "by_stars", "biz", ("profile",), scheme=IndexScheme.SYNC_FULL,
+        extractor=CODEC.field_extractor("profile", "stars")))
+    return c
+
+
+def test_index_on_dense_field(cluster):
+    client = cluster.new_client()
+    for i, stars in enumerate([3, 5, 3, 1]):
+        cluster.run(client.put("biz", f"b{i}".encode(), {
+            "profile": CODEC.pack({"city": "NYC", "stars": stars,
+                                   "price": 10.0 + i})}))
+    got = cluster.run(client.get_by_index("by_stars", equals=[3]))
+    assert sorted(h.rowkey for h in got) == [b"b0", b"b2"]
+    assert check_index(cluster, "by_stars").is_consistent
+
+
+def test_dense_index_update_moves_entry(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("biz", b"b1", {
+        "profile": CODEC.pack({"city": "NYC", "stars": 2})}))
+    cluster.run(client.put("biz", b"b1", {
+        "profile": CODEC.pack({"city": "NYC", "stars": 4})}))
+    assert cluster.run(client.get_by_index("by_stars", equals=[2])) == []
+    got = cluster.run(client.get_by_index("by_stars", equals=[4]))
+    assert [h.rowkey for h in got] == [b"b1"]
+    assert check_index(cluster, "by_stars").is_consistent
+
+
+def test_dense_index_range_query(cluster):
+    client = cluster.new_client()
+    for i in range(6):
+        cluster.run(client.put("biz", f"b{i}".encode(), {
+            "profile": CODEC.pack({"stars": i})}))
+    got = cluster.run(client.get_by_index("by_stars", low=2, high=4))
+    assert sorted(h.rowkey for h in got) == [b"b2", b"b3", b"b4"]
+
+
+def test_null_dense_field_contributes_no_entry(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("biz", b"b1", {
+        "profile": CODEC.pack({"city": "LA"})}))   # stars is NULL
+    report = check_index(cluster, "by_stars")
+    assert report.actual_count == 0
+    assert report.is_consistent

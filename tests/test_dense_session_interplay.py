@@ -1,0 +1,92 @@
+"""Cross-feature integration: dense-column extractors flowing through the
+session cache, the scrub utility, and scheme switching — the extension
+features must compose, not just work in isolation."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.core import DenseColumnCodec, DenseField, scrub_index
+
+CODEC = DenseColumnCodec([DenseField("city", "str"),
+                          DenseField("stars", "int")])
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=2, seed=40).start()
+    c.create_table("biz")
+    c.create_index(IndexDescriptor(
+        "by_stars", "biz", ("profile",), scheme=IndexScheme.ASYNC_SESSION,
+        extractor=CODEC.field_extractor("profile", "stars")))
+    return c
+
+
+def pause_aps(cluster):
+    for server in cluster.servers.values():
+        server.aps_gate.close()
+
+
+def test_session_sees_own_dense_field_write(cluster):
+    client = cluster.new_client()
+    session = client.get_session()
+    pause_aps(cluster)
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"city": "NYC",
+                                                   "stars": 4})},
+                           session=session))
+    got = cluster.run(client.get_by_index("by_stars", equals=[4],
+                                          session=session))
+    assert [h.rowkey for h in got] == [b"b1"]
+    # session-less reader lags, as expected of async
+    got = cluster.run(client.get_by_index("by_stars", equals=[4]))
+    assert got == []
+
+
+def test_session_hides_displaced_dense_entry(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 2})}))
+    cluster.quiesce()
+    session = client.get_session()
+    pause_aps(cluster)
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 5})},
+                           session=session))
+    got = cluster.run(client.get_by_index("by_stars", equals=[2],
+                                          session=session))
+    assert got == []     # own update displaced the old dense value
+    got = cluster.run(client.get_by_index("by_stars", equals=[5],
+                                          session=session))
+    assert [h.rowkey for h in got] == [b"b1"]
+
+
+def test_scrub_understands_extractors():
+    cluster = MiniCluster(num_servers=2, seed=41).start()
+    cluster.create_table("biz")
+    cluster.create_index(IndexDescriptor(
+        "by_stars", "biz", ("profile",), scheme=IndexScheme.SYNC_INSERT,
+        extractor=CODEC.field_extractor("profile", "stars")))
+    client = cluster.new_client()
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 1})}))
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 3})}))
+    assert len(check_index(cluster, "by_stars").stale) == 1
+    report = cluster.run(scrub_index(cluster, client, "by_stars"))
+    assert report.stale_deleted == 1
+    assert check_index(cluster, "by_stars").is_consistent
+
+
+def test_scheme_switch_on_dense_index(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 4})}))
+    cluster.quiesce()
+    cluster.change_index_scheme("by_stars", IndexScheme.SYNC_FULL)
+    cluster.run(client.put("biz", b"b1",
+                           {"profile": CODEC.pack({"stars": 7})}))
+    assert check_index(cluster, "by_stars").is_consistent
+    got = cluster.run(client.get_by_index("by_stars", equals=[7]))
+    assert [h.rowkey for h in got] == [b"b1"]
+    got = cluster.run(client.get_by_index("by_stars", equals=[4]))
+    assert got == []

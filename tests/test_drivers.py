@@ -1,0 +1,118 @@
+"""The closed-loop and open-loop drivers against a live mini cluster."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.ycsb import (ClosedLoopDriver, CoreWorkload, ItemSchema,
+                        OpenLoopDriver, OpType, load_direct, load_via_client)
+
+
+@pytest.fixture
+def loaded():
+    schema = ItemSchema(record_count=300, title_cardinality=60)
+    cluster = MiniCluster(num_servers=3, seed=14).start()
+    cluster.create_table("item", split_keys=schema.split_keys(3))
+    load_direct(cluster, schema, "item")
+    cluster.create_index(IndexDescriptor(
+        "item_title", "item", ("item_title",),
+        scheme=IndexScheme.SYNC_FULL))
+    cluster.create_index(IndexDescriptor(
+        "item_price", "item", ("item_price",),
+        scheme=IndexScheme.SYNC_FULL))
+    return cluster, schema
+
+
+def test_load_direct_populates_and_flushes(loaded):
+    cluster, schema = loaded
+    client = cluster.new_client()
+    row = cluster.run(client.get("item", schema.rowkey(0)))
+    assert len(row) == 10
+    assert cluster.hdfs.total_store_bytes > 0       # starts disk-resident
+    assert check_index(cluster, "item_title").is_consistent
+
+
+def test_load_via_client_maintains_indexes():
+    schema = ItemSchema(record_count=40, title_cardinality=8)
+    cluster = MiniCluster(num_servers=2, seed=15).start()
+    cluster.create_table("item")
+    cluster.create_index(IndexDescriptor(
+        "item_title", "item", ("item_title",),
+        scheme=IndexScheme.SYNC_FULL))
+    client = cluster.new_client()
+    count = cluster.run(load_via_client(cluster, client, schema, "item"))
+    assert count == 40
+    assert check_index(cluster, "item_title").is_consistent
+
+
+def test_closed_loop_update_workload(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={OpType.UPDATE: 1.0})
+    driver = ClosedLoopDriver(cluster, workload, "item", num_threads=4)
+    result = driver.run(duration_ms=400.0, warmup_ms=100.0)
+    stats = result.stats(OpType.UPDATE)
+    assert stats.count > 10
+    assert stats.mean_ms > 0
+    assert result.failed == 0
+    assert check_index(cluster, "item_title").is_consistent
+
+
+def test_closed_loop_mixed_workload(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={
+        OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.3, OpType.BASE_READ: 0.2})
+    driver = ClosedLoopDriver(cluster, workload, "item", num_threads=4)
+    result = driver.run(duration_ms=500.0, warmup_ms=0.0)
+    assert result.stats(OpType.UPDATE).count > 0
+    assert result.stats(OpType.INDEX_READ).count > 0
+    assert result.stats(OpType.BASE_READ).count > 0
+
+
+def test_closed_loop_range_workload(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema,
+                            proportions={OpType.INDEX_RANGE: 1.0},
+                            range_selectivity=0.02)
+    driver = ClosedLoopDriver(cluster, workload, "item", num_threads=2)
+    result = driver.run(duration_ms=400.0)
+    assert result.stats(OpType.INDEX_RANGE).count > 0
+
+
+def test_closed_loop_insert_workload(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={OpType.INSERT: 1.0})
+    driver = ClosedLoopDriver(cluster, workload, "item", num_threads=2)
+    result = driver.run(duration_ms=300.0)
+    assert result.stats(OpType.INSERT).count > 0
+    client = cluster.new_client()
+    # inserted rows live past the original record count
+    row = cluster.run(client.get("item", schema.rowkey(300)))
+    assert row
+
+
+def test_more_threads_more_throughput(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={OpType.UPDATE: 1.0})
+    slow = ClosedLoopDriver(cluster, workload, "item", num_threads=1)
+    tput1 = slow.run(duration_ms=400.0).stats(OpType.UPDATE).throughput_tps
+    fast = ClosedLoopDriver(cluster, workload, "item", num_threads=8)
+    tput8 = fast.run(duration_ms=400.0).stats(OpType.UPDATE).throughput_tps
+    assert tput8 > 2 * tput1
+
+
+def test_open_loop_hits_target_rate(loaded):
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={OpType.UPDATE: 1.0})
+    driver = OpenLoopDriver(cluster, workload, "item", target_tps=500.0)
+    result = driver.run(duration_ms=2000.0)
+    achieved = result.stats(OpType.UPDATE).throughput_tps
+    assert 350 < achieved < 700       # Poisson noise around the target
+
+
+def test_open_loop_arrival_independent_of_latency(loaded):
+    """Open loop keeps issuing even when the system is slow — the issued
+    count tracks the rate, not the completions."""
+    cluster, schema = loaded
+    workload = CoreWorkload(schema, proportions={OpType.UPDATE: 1.0})
+    driver = OpenLoopDriver(cluster, workload, "item", target_tps=300.0)
+    driver.run(duration_ms=1000.0)
+    assert driver.issued == pytest.approx(300, rel=0.4)

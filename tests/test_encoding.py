@@ -1,0 +1,148 @@
+"""Unit and property tests for the memcomparable encoding — order
+preservation is what makes index range queries (Figure 9) correct."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.core.encoding import (decode_index_key, decode_value,
+                                 encode_index_key, encode_value,
+                                 index_prefix, prefix_upper_bound)
+
+
+# -- round trips ---------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [
+    b"", b"abc", b"\x00", b"\x00\x00", b"a\x00b", bytes(range(256)),
+    "", "hello", "ünïcødé", "title-00001234",
+    0, 1, -1, 2 ** 62, -(2 ** 62), 42,
+    0.0, 1.5, -1.5, 3.141592653589793, 1e300, -1e300,
+    None,
+])
+def test_roundtrip(value):
+    decoded = decode_value(encode_value(value))
+    if isinstance(value, str):
+        assert decoded == value.encode("utf-8")
+    else:
+        assert decoded == value
+
+
+def test_int_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode_value(2 ** 64)
+
+
+def test_bool_rejected():
+    with pytest.raises(EncodingError):
+        encode_value(True)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(EncodingError):
+        encode_value([1, 2])
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(EncodingError):
+        decode_value(encode_value(5) + b"x")
+
+
+def test_truncated_rejected():
+    with pytest.raises(EncodingError):
+        decode_value(encode_value(b"abc")[:-1])
+
+
+def test_empty_rejected():
+    with pytest.raises(EncodingError):
+        decode_value(b"")
+
+
+# -- order preservation -----------------------------------------------------------
+
+@settings(max_examples=200)
+@given(st.integers(-(2 ** 63), 2 ** 63 - 1),
+       st.integers(-(2 ** 63), 2 ** 63 - 1))
+def test_property_int_order(a, b):
+    assert (encode_value(a) < encode_value(b)) == (a < b)
+
+
+@settings(max_examples=200)
+@given(st.floats(allow_nan=False, allow_infinity=False),
+       st.floats(allow_nan=False, allow_infinity=False))
+def test_property_float_order(a, b):
+    assert (encode_value(a) < encode_value(b)) == (a < b)
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=24), st.binary(max_size=24))
+def test_property_bytes_order(a, b):
+    assert (encode_value(a) < encode_value(b)) == (a < b)
+
+
+@settings(max_examples=100)
+@given(st.binary(max_size=16))
+def test_property_bytes_roundtrip(raw):
+    assert decode_value(encode_value(raw)) == raw
+
+
+def test_null_sorts_first():
+    for other in [b"", b"\x00", -(2 ** 63), -1e300]:
+        assert encode_value(None) < encode_value(other)
+
+
+# -- index keys -----------------------------------------------------------------
+
+def test_index_key_roundtrip_single():
+    key = encode_index_key([b"espresso"], b"row-42")
+    values, rowkey = decode_index_key(key, 1)
+    assert values == [b"espresso"]
+    assert rowkey == b"row-42"
+
+
+def test_index_key_roundtrip_composite():
+    key = encode_index_key([b"NY", 42, 3.5], b"r1")
+    values, rowkey = decode_index_key(key, 3)
+    assert values == [b"NY", 42, 3.5]
+    assert rowkey == b"r1"
+
+
+def test_index_key_with_zero_bytes_in_value_and_row():
+    key = encode_index_key([b"a\x00b"], b"row\x00key")
+    values, rowkey = decode_index_key(key, 1)
+    assert values == [b"a\x00b"]
+    assert rowkey == b"row\x00key"
+
+
+@settings(max_examples=150)
+@given(st.binary(min_size=0, max_size=12), st.binary(min_size=0, max_size=12),
+       st.binary(min_size=1, max_size=8))
+def test_property_index_keys_sort_by_value_then_row(v1, v2, row):
+    k1 = encode_index_key([v1], row)
+    k2 = encode_index_key([v2], row)
+    if v1 < v2:
+        assert k1 < k2
+    elif v1 > v2:
+        assert k1 > k2
+    else:
+        assert k1 == k2
+
+
+@settings(max_examples=100)
+@given(st.binary(max_size=10), st.binary(min_size=0, max_size=8))
+def test_property_prefix_selects_exactly_value(value, row):
+    """Every entry with this value — and no other — falls inside the
+    prefix scan range."""
+    prefix = index_prefix([value])
+    upper = prefix_upper_bound(prefix)
+    key = encode_index_key([value], row)
+    assert prefix <= key
+    assert upper is None or key < upper
+    other_key = encode_index_key([value + b"\x01"], row)
+    assert not (prefix <= other_key and (upper is None or other_key < upper))
+
+
+def test_prefix_upper_bound_simple():
+    assert prefix_upper_bound(b"ab") == b"ac"
+    assert prefix_upper_bound(b"a\xff") == b"b"
+    assert prefix_upper_bound(b"\xff\xff") is None

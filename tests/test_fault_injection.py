@@ -1,0 +1,81 @@
+"""§6.2 durability: failed synchronous index ops degrade to the AUQ and
+are retried to eventual success — the base put is never rolled back."""
+
+import pytest
+
+from repro import (FaultPlan, IndexDescriptor, IndexScheme, MiniCluster,
+                   check_index)
+from repro.sim.random import RandomStream
+
+
+def build(fail_probability, scheme=IndexScheme.SYNC_FULL, seed=21):
+    plan = FaultPlan(fail_probability, rng=RandomStream(seed))
+    cluster = MiniCluster(num_servers=3, seed=seed,
+                          fault_plan=plan).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",), scheme=scheme))
+    return cluster
+
+
+def run_workload(cluster, n=40):
+    client = cluster.new_client()
+    rng = RandomStream(5)
+    completed = 0
+    for i in range(n):
+        try:
+            cluster.run(client.put(
+                "t", f"r{rng.randint(0, 19):02d}".encode(),
+                {"c": f"v{rng.randint(0, 4)}".encode()}))
+            completed += 1
+        except Exception:  # noqa: BLE001 - client-side RPC losses are fine
+            pass
+    return client, completed
+
+
+def test_no_faults_nothing_degrades():
+    cluster = build(0.0)
+    run_workload(cluster)
+    assert cluster.counters_degraded == 0
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_sync_full_degrades_but_converges():
+    """With lossy RPC, some sync-full index ops fail mid-flight; the put
+    still succeeds and the AUQ heals the index."""
+    cluster = build(0.08)
+    _client, completed = run_workload(cluster, n=60)
+    assert completed > 0
+    # Disable faults so retries can land, then drain.
+    cluster.network.faults.fail_probability = 0.0
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, report
+    assert cluster.counters_degraded > 0      # the degrade path fired
+
+
+def test_sync_insert_degrades_but_never_misses():
+    cluster = build(0.08, scheme=IndexScheme.SYNC_INSERT)
+    run_workload(cluster, n=60)
+    cluster.network.faults.fail_probability = 0.0
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert not report.missing   # stale is allowed for sync-insert
+
+
+def test_async_retries_ride_through_faults():
+    """The APS retries with backoff until delivery succeeds."""
+    cluster = build(0.15, scheme=IndexScheme.ASYNC_SIMPLE)
+    run_workload(cluster, n=40)
+    cluster.network.faults.fail_probability = 0.0
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, report
+    retries = sum(s.aps_retries for s in cluster.servers.values())
+    assert retries > 0
+
+
+def test_network_counts_failures():
+    cluster = build(0.3)
+    run_workload(cluster, n=30)
+    assert cluster.network.failed_rpcs > 0
+    assert cluster.network.rpc_count > cluster.network.failed_rpcs

@@ -1,0 +1,78 @@
+"""KeyRange algebra and table metadata helpers."""
+
+import pytest
+
+from repro import KeyRange
+from repro.cluster.table import (TableDescriptor, TableKind, even_split_keys,
+                                 index_table_name)
+from repro.core.index import IndexDescriptor
+
+
+# -- KeyRange -----------------------------------------------------------------
+
+def test_contains():
+    r = KeyRange(b"b", b"m")
+    assert r.contains(b"b")
+    assert r.contains(b"c")
+    assert not r.contains(b"m")
+    assert not r.contains(b"a")
+
+
+def test_unbounded():
+    assert KeyRange().contains(b"")
+    assert KeyRange().contains(b"\xff" * 10)
+    assert KeyRange(b"m", None).contains(b"\xff")
+    assert not KeyRange(b"m", None).contains(b"a")
+
+
+def test_overlaps():
+    assert KeyRange(b"a", b"m").overlaps(KeyRange(b"l", b"z"))
+    assert not KeyRange(b"a", b"m").overlaps(KeyRange(b"m", b"z"))
+    assert KeyRange().overlaps(KeyRange(b"x", b"y"))
+    assert KeyRange(b"a", None).overlaps(KeyRange(b"z", None))
+
+
+def test_clamp():
+    clamped = KeyRange(b"a", b"m").clamp(KeyRange(b"f", b"z"))
+    assert clamped.start == b"f" and clamped.end == b"m"
+    clamped = KeyRange().clamp(KeyRange(b"c", b"d"))
+    assert clamped.start == b"c" and clamped.end == b"d"
+    assert KeyRange(b"a", b"b").clamp(KeyRange(b"c", b"d")).is_empty()
+
+
+def test_clamp_unbounded_ends():
+    clamped = KeyRange(b"a", None).clamp(KeyRange(b"b", None))
+    assert clamped.start == b"b" and clamped.end is None
+
+
+# -- table metadata ------------------------------------------------------------
+
+def test_index_table_name_convention():
+    assert index_table_name("item", "by_title") == "__idx__item__by_title"
+
+
+def test_descriptor_index_attachment():
+    table = TableDescriptor("t")
+    assert not table.has_indexes
+    index = IndexDescriptor("ix", "t", ("a", "b"))
+    table.attach_index(index)
+    assert table.has_indexes
+    assert table.indexed_columns() == ["a", "b"]
+    table.attach_index(IndexDescriptor("ix2", "t", ("b", "c")))
+    assert table.indexed_columns() == ["a", "b", "c"]   # deduped, ordered
+    table.detach_index("ix")
+    assert table.indexed_columns() == ["b", "c"]
+
+
+def test_table_kinds():
+    base = TableDescriptor("t")
+    index = TableDescriptor("__idx__t__ix", TableKind.INDEX)
+    assert not base.is_index
+    assert index.is_index
+
+
+def test_even_split_keys():
+    splits = even_split_keys(b"item", 4, domain=1000)
+    assert splits == [b"item0000000250", b"item0000000500", b"item0000000750"]
+    assert even_split_keys(b"item", 1) == []
+    assert len(even_split_keys(b"x", 8, domain=800)) == 7

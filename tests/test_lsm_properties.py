@@ -1,0 +1,115 @@
+"""Property tests: the LSM tree against a model map under random
+operation/flush/compaction interleavings, and concurrent-writer
+consistency for sync-full."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.lsm import Cell, CompactionPolicy, KeyRange, LSMConfig, LSMTree
+from repro.sim.kernel import all_of
+
+KEYS = [f"k{i}".encode() for i in range(8)]
+
+# op: (key_idx, value_idx | None=delete) plus control markers
+op_strategy = st.one_of(
+    st.tuples(st.integers(0, len(KEYS) - 1),
+              st.one_of(st.none(), st.integers(0, 5))),
+    st.just("flush"),
+    st.just("compact"),
+)
+
+relaxed = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@relaxed
+@given(st.lists(op_strategy, min_size=1, max_size=60))
+def test_lsm_tree_matches_model_map(ops):
+    """Visible state == a plain dict, no matter how writes interleave
+    with flushes and compactions."""
+    tree = LSMTree(config=LSMConfig(
+        flush_threshold_bytes=10 ** 9,   # flush only when we say so
+        compaction=CompactionPolicy(min_files=2, major_every=2)))
+    model = {}
+    ts = 0
+    for op in ops:
+        if op == "flush":
+            handle = tree.prepare_flush()
+            if handle is not None:
+                tree.complete_flush(handle)
+        elif op == "compact":
+            tree.compact()
+        else:
+            key_idx, value_idx = op
+            ts += 1
+            key = KEYS[key_idx]
+            if value_idx is None:
+                tree.add(Cell(key, ts, None))
+                model.pop(key, None)
+            else:
+                value = f"v{value_idx}".encode()
+                tree.add(Cell(key, ts, value))
+                model[key] = value
+
+    for key in KEYS:
+        got = tree.get(key)
+        if key in model:
+            assert got is not None and got.value == model[key], key
+        else:
+            assert got is None, key
+
+    scanned = {c.key: c.value for c in tree.scan(KeyRange())}
+    assert scanned == model
+
+
+@relaxed
+@given(st.lists(op_strategy, min_size=1, max_size=60))
+def test_lsm_scan_is_sorted_and_deduped(ops):
+    tree = LSMTree(config=LSMConfig(flush_threshold_bytes=10 ** 9))
+    ts = 0
+    for op in ops:
+        if op == "flush":
+            handle = tree.prepare_flush()
+            if handle is not None:
+                tree.complete_flush(handle)
+        elif op == "compact":
+            tree.compact()
+        else:
+            key_idx, value_idx = op
+            ts += 1
+            value = None if value_idx is None else b"v"
+            tree.add(Cell(KEYS[key_idx], ts, value))
+    cells = tree.scan(KeyRange())
+    keys = [c.key for c in cells]
+    assert keys == sorted(set(keys))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+             min_size=1, max_size=8),
+    min_size=2, max_size=4))
+def test_concurrent_sync_full_writers_always_consistent(writer_scripts):
+    """Several clients write concurrently to overlapping rows; whatever
+    interleaving the row locks produce, the sync-full index must match
+    the final base state exactly."""
+    cluster = MiniCluster(num_servers=3, seed=len(writer_scripts)).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",),
+                                         scheme=IndexScheme.SYNC_FULL))
+
+    def writer(client, script):
+        for row_idx, value_idx in script:
+            yield from client.put("t", f"row{row_idx}".encode(),
+                                  {"c": f"val{value_idx}".encode()})
+
+    procs = []
+    for i, script in enumerate(writer_scripts):
+        client = cluster.new_client(f"w{i}")
+        procs.append(cluster.spawn(writer(client, script), name=f"w{i}"))
+    cluster.sim.run_until_complete(all_of(cluster.sim, procs))
+    cluster.quiesce()   # drain any fault-degraded stragglers (none expected)
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, (writer_scripts, report)

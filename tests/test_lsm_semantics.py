@@ -1,0 +1,137 @@
+"""Version/tombstone resolution semantics — the LSM properties the paper's
+concurrency-control and recovery arguments rely on (§4.3, §5.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import Cell, resolve_get, resolve_versions
+from repro.lsm.iterators import merge_key_streams
+
+
+def test_newest_version_wins():
+    cells = [Cell(b"k", 1, b"a"), Cell(b"k", 3, b"c"), Cell(b"k", 2, b"b")]
+    assert resolve_get(cells).value == b"c"
+
+
+def test_tombstone_masks_older_versions():
+    cells = [Cell(b"k", 1, b"a"), Cell(b"k", 2, None)]
+    assert resolve_get(cells) is None
+
+
+def test_tombstone_masks_equal_ts():
+    """Delete at ts masks puts at the SAME ts — this is why Diff-Index
+    deletes at t_new − δ rather than t_new (§4.3)."""
+    cells = [Cell(b"k", 2, b"a"), Cell(b"k", 2, None)]
+    assert resolve_get(cells) is None
+
+
+def test_tombstone_does_not_mask_newer_put():
+    cells = [Cell(b"k", 2, None), Cell(b"k", 3, b"alive")]
+    assert resolve_get(cells).value == b"alive"
+
+
+def test_masking_is_order_independent():
+    """Physical write order is irrelevant: a put delivered AFTER a delete
+    with a smaller timestamp stays dead (out-of-order APS delivery)."""
+    physical_order = [Cell(b"k", 5, None), Cell(b"k", 3, b"late-arrival")]
+    assert resolve_get(physical_order) is None
+
+
+def test_duplicate_same_ts_idempotent():
+    """Crash replay re-delivers cells; same (key, ts) must collapse."""
+    cells = [Cell(b"k", 4, b"v"), Cell(b"k", 4, b"v"), Cell(b"k", 4, b"v")]
+    assert [c.ts for c in resolve_versions(cells)] == [4]
+
+
+def test_resolve_versions_limit():
+    cells = [Cell(b"k", ts, b"v") for ts in range(10)]
+    got = resolve_versions(cells, max_versions=3)
+    assert [c.ts for c in got] == [9, 8, 7]
+
+
+def test_resolve_empty():
+    assert resolve_get([]) is None
+    assert resolve_versions([]) == []
+
+
+def test_only_tombstones_resolves_to_none():
+    assert resolve_get([Cell(b"k", 1, None), Cell(b"k", 9, None)]) is None
+
+
+# -- the paper's index-maintenance timestamp discipline ----------------------
+
+def test_diff_index_delete_discipline():
+    """Scenario from §4.3: base put v_new@t_new; index gets
+    PI(v_new⊕k, t_new) and DI(v_old⊕k, t_new−δ).  If v_new == v_old the
+    delete at t_new−δ must NOT kill the new entry at t_new."""
+    t_new = 100
+    delta = 1
+    index_key = b"same-value\x00row1"
+    cells = [
+        Cell(index_key, 50, b""),            # old entry
+        Cell(index_key, t_new, b""),          # new entry (same value!)
+        Cell(index_key, t_new - delta, None),  # delete of the old entry
+    ]
+    survivor = resolve_get(cells)
+    assert survivor is not None
+    assert survivor.ts == t_new
+
+
+def test_out_of_order_aps_converges():
+    """Two updates row k: v1@t1 then v2@t2 processed by APS in reverse
+    order.  The stale re-insert of v1⊕k at t1 is masked by the delete at
+    t2−δ (> t1), so the final index state is correct."""
+    t1, t2 = 10, 20
+    v1_key, v2_key = b"v1\x00k", b"v2\x00k"
+    # APS processes t2's entry first:
+    index_v1 = [Cell(v1_key, t2 - 1, None)]       # DI(v1⊕k, t2−δ)
+    index_v2 = [Cell(v2_key, t2, b"")]            # PI(v2⊕k, t2)
+    # ... then t1's entry (stale):
+    index_v1.append(Cell(v1_key, t1, b""))        # PI(v1⊕k, t1) — late
+    assert resolve_get(index_v1) is None          # stale entry invisible
+    assert resolve_get(index_v2).ts == t2
+
+
+# -- merge iterator -----------------------------------------------------------
+
+def test_merge_key_streams_merges_sorted():
+    s1 = iter([(b"a", [Cell(b"a", 1, b"x")]), (b"c", [Cell(b"c", 1, b"x")])])
+    s2 = iter([(b"b", [Cell(b"b", 1, b"x")])])
+    keys = [k for k, _ in merge_key_streams([s1, s2])]
+    assert keys == [b"a", b"b", b"c"]
+
+
+def test_merge_key_streams_concatenates_same_key():
+    s1 = iter([(b"a", [Cell(b"a", 2, b"new")])])
+    s2 = iter([(b"a", [Cell(b"a", 1, b"old")])])
+    merged = list(merge_key_streams([s1, s2]))
+    assert len(merged) == 1
+    assert {c.ts for c in merged[0][1]} == {1, 2}
+
+
+def test_merge_key_streams_empty_inputs():
+    assert list(merge_key_streams([])) == []
+    assert list(merge_key_streams([iter([]), iter([])])) == []
+
+
+@settings(max_examples=50)
+@given(st.lists(
+    st.tuples(st.integers(0, 5), st.booleans()), min_size=0, max_size=30))
+def test_property_resolution_matches_naive_model(history):
+    """resolve_get == a naive replay model for any (ts, is_delete) history."""
+    cells = []
+    for i, (ts, is_delete) in enumerate(history):
+        value = None if is_delete else f"v{i}".encode()
+        cells.append(Cell(b"k", ts, value))
+
+    # Naive model: newest tombstone ts masks everything <= it; among the
+    # remaining value cells keep the newest ts; on exact ts ties between
+    # value cells, either may win (the engine picks the first physical).
+    tomb = max((c.ts for c in cells if c.is_tombstone), default=-1)
+    live_ts = [c.ts for c in cells if not c.is_tombstone and c.ts > tomb]
+    got = resolve_get(cells)
+    if not live_ts:
+        assert got is None
+    else:
+        assert got is not None
+        assert got.ts == max(live_ts)

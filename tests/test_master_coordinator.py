@@ -1,0 +1,85 @@
+"""Master routing/placement and coordinator failure detection."""
+
+import pytest
+
+from repro import KeyRange, MiniCluster
+from repro.errors import NoSuchRegionError, NoSuchTableError
+
+
+@pytest.fixture
+def cluster():
+    return MiniCluster(num_servers=4, seed=18, heartbeat_timeout_ms=800.0)
+
+
+def test_round_robin_placement(cluster):
+    cluster.create_table("t", split_keys=[b"b", b"c", b"d", b"e", b"f",
+                                          b"g", b"h"])
+    counts = {}
+    for info in cluster.master.layout["t"]:
+        counts[info.server_name] = counts.get(info.server_name, 0) + 1
+    assert set(counts.values()) == {2}      # 8 regions over 4 servers
+
+
+def test_locate_boundaries(cluster):
+    cluster.create_table("t", split_keys=[b"m"])
+    low, high = cluster.master.layout["t"]
+    assert cluster.master.locate("t", b"") is low
+    assert cluster.master.locate("t", b"l\xff") is low
+    assert cluster.master.locate("t", b"m") is high
+    assert cluster.master.locate("t", b"\xff" * 8) is high
+
+
+def test_locate_unknown_table(cluster):
+    with pytest.raises(NoSuchTableError):
+        cluster.master.locate("ghost", b"x")
+
+
+def test_regions_for_range(cluster):
+    cluster.create_table("t", split_keys=[b"h", b"p"])
+    infos = cluster.master.regions_for_range("t", KeyRange(b"j", b"k"))
+    assert len(infos) == 1
+    assert infos[0].key_range.start == b"h"
+    infos = cluster.master.regions_for_range("t", KeyRange(b"a", b"z"))
+    assert len(infos) == 3
+    infos = cluster.master.regions_for_range("t", KeyRange(b"q", None))
+    assert len(infos) == 1
+
+
+def test_snapshot_layout_is_a_copy(cluster):
+    cluster.create_table("t")
+    snapshot = cluster.master.snapshot_layout()
+    snapshot["t"][0].server_name = "tampered"
+    assert cluster.master.layout["t"][0].server_name != "tampered"
+
+
+def test_coordinator_detects_silent_server(cluster):
+    """A server whose heartbeat stops (not an explicit kill) is declared
+    dead and fenced."""
+    cluster.start()
+    cluster.create_table("t")
+    victim = next(iter(cluster.servers.values()))
+    # Simulate a hang: stop the heartbeat loop by freezing the timestamp
+    # far in the past once time has advanced.
+    cluster.advance(100.0)
+    victim.config.heartbeat_interval_ms = 10 ** 9   # stops updating
+    cluster.advance(3000.0)
+    assert victim.name in cluster.coordinator.declared_dead
+    assert not victim.alive                         # fenced
+
+
+def test_coordinator_ignores_healthy_servers(cluster):
+    cluster.start()
+    cluster.advance(5000.0)
+    assert cluster.coordinator.declared_dead == set()
+
+
+def test_recovery_target_excludes_dead(cluster):
+    cluster.start()
+    cluster.create_table("t", split_keys=[b"m"])
+    victim = cluster.master.layout["t"][0].server_name
+    cluster.kill_server(victim)
+    while victim not in cluster.coordinator.recoveries_completed:
+        cluster.advance(100.0)
+    for info in cluster.master.layout["t"]:
+        assert info.server_name != victim
+        assert cluster.servers[info.server_name].alive

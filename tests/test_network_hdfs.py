@@ -1,0 +1,108 @@
+"""The RPC fabric (latency, faults, dead targets) and SimHDFS."""
+
+import pytest
+
+from repro.cluster.hdfs import SimHDFS
+from repro.cluster.network import FaultPlan, Network
+from repro.errors import RpcError, ServerDownError, StorageError
+from repro.lsm.sstable import SSTableBuilder
+from repro.lsm.types import Cell
+from repro.sim import LatencyModel, Simulator
+from repro.sim.random import RandomStream
+
+
+class FakeServer:
+    def __init__(self, name="srv", alive=True):
+        self.name = name
+        self.alive = alive
+
+
+def call(sim, network, target, result="ok"):
+    def handler():
+        return result
+        yield  # pragma: no cover
+
+    return sim.run_until_complete(
+        sim.spawn(network.call(target, handler)))
+
+
+def test_rpc_round_trip_charges_latency():
+    sim = Simulator()
+    model = LatencyModel(rpc_jitter_ms=0.0)
+    network = Network(sim, model)
+    assert call(sim, network, FakeServer()) == "ok"
+    assert sim.now() == pytest.approx(2 * model.rpc_one_way_ms)
+    assert network.rpc_count == 1
+
+
+def test_rpc_to_dead_server_fails():
+    sim = Simulator()
+    network = Network(sim, LatencyModel())
+    with pytest.raises(ServerDownError):
+        call(sim, network, FakeServer(alive=False))
+    assert network.failed_rpcs == 1
+
+
+def test_rpc_fault_injection():
+    sim = Simulator()
+    plan = FaultPlan(1.0, rng=RandomStream(1))
+    network = Network(sim, LatencyModel(), faults=plan)
+    with pytest.raises(RpcError):
+        call(sim, network, FakeServer())
+
+
+def test_fault_probability_zero_never_fails():
+    plan = FaultPlan(0.0)
+    assert not any(plan.should_fail() for _ in range(100))
+
+
+def test_server_dying_mid_request_fails_response():
+    sim = Simulator()
+    network = Network(sim, LatencyModel())
+    server = FakeServer()
+
+    def handler():
+        server.alive = False   # dies while serving
+        return "never-delivered"
+        yield  # pragma: no cover
+
+    with pytest.raises(ServerDownError):
+        sim.run_until_complete(sim.spawn(network.call(server, handler)))
+
+
+# -- SimHDFS -----------------------------------------------------------------------
+
+def test_wal_namespace_lifecycle():
+    hdfs = SimHDFS()
+    backing = hdfs.create_wal("rs1")
+    assert hdfs.has_wal("rs1")
+    assert hdfs.wal_records("rs1") == []
+    backing.append("fake-record")
+    assert hdfs.wal_records("rs1") == ["fake-record"]
+    hdfs.delete_wal("rs1")
+    assert not hdfs.has_wal("rs1")
+    with pytest.raises(StorageError):
+        hdfs.wal_records("rs1")
+
+
+def test_store_file_namespace():
+    hdfs = SimHDFS()
+    builder = SSTableBuilder()
+    builder.add(Cell(b"k", 1, b"v"))
+    sstable = builder.finish()
+    hdfs.set_store_files("t", "r1", [sstable])
+    assert hdfs.store_files("t", "r1") == [sstable]
+    assert hdfs.store_files("t", "other") == []
+    assert hdfs.total_store_bytes == sstable.total_bytes
+    hdfs.delete_store("t", "r1")
+    assert hdfs.store_files("t", "r1") == []
+
+
+def test_wal_survives_server_object_loss():
+    """Durability: the backing list lives in HDFS, not in the server."""
+    hdfs = SimHDFS()
+    backing = hdfs.create_wal("rs1")
+    backing.append("record")
+    del backing
+    assert hdfs.wal_records("rs1") == ["record"]
+    assert hdfs.total_wal_records == 1

@@ -1,0 +1,241 @@
+"""Failure recovery (§5.3): WAL split/replay, AUQ reconstruction,
+idempotent re-delivery, and the necessity of drain-before-flush."""
+
+import pytest
+
+from repro import (IndexDescriptor, IndexScheme, MiniCluster, ServerConfig,
+                   check_index)
+from repro.cluster.recovery import task_from_wal_record
+from repro.lsm.types import Cell
+from repro.lsm.wal import WalRecord
+
+
+def build(scheme=IndexScheme.ASYNC_SIMPLE, **cluster_kwargs):
+    cluster_kwargs.setdefault("heartbeat_timeout_ms", 800.0)
+    cluster = MiniCluster(num_servers=4, seed=13, **cluster_kwargs).start()
+    cluster.create_table("t", split_keys=[b"m"])
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",), scheme=scheme))
+    return cluster
+
+
+def wait_recovered(cluster, victim):
+    while victim not in cluster.coordinator.recoveries_completed:
+        cluster.advance(100.0)
+
+
+def server_hosting(cluster, table, row):
+    return cluster.master.locate(table, row).server_name
+
+
+def test_base_data_survives_crash():
+    cluster = build()
+    client = cluster.new_client()
+    for i in range(20):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"v"}))
+    victim = server_hosting(cluster, "t", b"k00")
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    for i in range(20):
+        row = cluster.run(client.get("t", f"k{i:02d}".encode()))
+        assert row["c"][0] == b"v"
+
+
+def test_regions_reassigned_to_live_servers():
+    cluster = build()
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"a", {"c": b"v"}))
+    victim = server_hosting(cluster, "t", b"a")
+    regions_before = len(cluster.master.regions_on(victim))
+    assert regions_before > 0
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    assert cluster.master.regions_on(victim) == []
+    for infos in cluster.master.layout.values():
+        for info in infos:
+            assert cluster.servers[info.server_name].alive
+
+
+def test_pending_auq_entries_recovered():
+    """Kill the server while index updates are still queued: the WAL
+    replay must re-enqueue them (requirement (2) of §5.3)."""
+    cluster = build()
+    client = cluster.new_client()
+    for server in cluster.servers.values():
+        server.aps_gate.close()          # hold everything in the AUQ
+    for i in range(15):
+        cluster.run(client.put("t", f"k{i:02d}".encode(),
+                               {"c": f"v{i % 3}".encode()}))
+    victim = server_hosting(cluster, "t", b"k00")
+    assert len(cluster.servers[victim].auq) > 0
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    for server in cluster.servers.values():
+        server.aps_gate.open()
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, report
+
+
+def test_redelivery_is_idempotent():
+    """Crash AFTER the APS delivered some entries: replay re-enqueues
+    every put, so entries are delivered twice — same timestamps, so the
+    index must come out exactly right anyway (§5.3)."""
+    cluster = build()
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"x"}))
+    cluster.quiesce()                    # everything delivered once
+    victim = server_hosting(cluster, "t", b"k00")
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    cluster.quiesce()                    # re-delivery happens here
+    report = check_index(cluster, "ix")
+    assert report.is_consistent, report
+
+
+def test_sync_full_index_survives_crash():
+    cluster = build(scheme=IndexScheme.SYNC_FULL)
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.put("t", f"k{i:02d}".encode(),
+                               {"c": f"v{i % 2}".encode()}))
+    victim = server_hosting(cluster, "t", b"k00")
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    cluster.quiesce()
+    assert check_index(cluster, "ix").is_consistent
+    got = cluster.run(client.get_by_index("ix", equals=[b"v1"]))
+    assert len(got) == 5
+
+
+def test_index_region_crash_recovers_entries():
+    """Losing a server that hosts INDEX regions must not lose entries."""
+    cluster = build(scheme=IndexScheme.SYNC_FULL)
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"val"}))
+    index_table = cluster.index_descriptor("ix").table_name
+    victim = server_hosting(cluster, index_table, b"\x04val")
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    cluster.quiesce()
+    got = cluster.run(client.get_by_index("ix", equals=[b"val"]))
+    assert len(got) == 10
+
+
+def test_flushed_data_not_replayed_but_present():
+    """Flushed store files re-link from SimHDFS; the rolled WAL is gone."""
+    cluster = build()
+    client = cluster.new_client()
+    for i in range(30):
+        cluster.run(client.put("t", f"k{i:02d}".encode(),
+                               {"c": b"v", "pad": b"x" * 300}))
+    cluster.quiesce()
+    # Force a flush everywhere so the WAL rolls forward.
+    for server in cluster.servers.values():
+        for region in list(server.regions.values()):
+            if len(region.tree._memtable) > 0:
+                cluster.run(server.flush_region(region))
+    victim = server_hosting(cluster, "t", b"k00")
+    cluster.kill_server(victim)
+    wait_recovered(cluster, victim)
+    cluster.quiesce()
+    for i in range(30):
+        row = cluster.run(client.get("t", f"k{i:02d}".encode()))
+        assert row["c"][0] == b"v"
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_without_drain_protocol_crash_loses_index_updates():
+    """The negative control for §5.3: disable drain-before-flush, flush
+    while the AUQ is non-empty, roll the WAL, crash — the queued updates
+    are gone for good (their WAL records were rolled away)."""
+    config = ServerConfig(drain_auq_before_flush=False)
+    cluster = build(server_config=config)
+    client = cluster.new_client()
+    for server in cluster.servers.values():
+        server.aps_gate.close()          # keep entries stuck in the AUQ
+    for i in range(10):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"lost?"}))
+    victim_name = server_hosting(cluster, "t", b"k00")
+    victim = cluster.servers[victim_name]
+    # Flush the victim's base regions with the queue still full (the
+    # protocol being off is what allows this).
+    for region in list(victim.regions.values()):
+        if region.table.name == "t" and len(region.tree._memtable) > 0:
+            cluster.run(victim.flush_region(region))
+    assert len(victim.auq) > 0           # PR(Flushed) != empty — the bug
+    cluster.kill_server(victim_name)
+    wait_recovered(cluster, victim_name)
+    for server in cluster.servers.values():
+        server.aps_gate.open()
+    cluster.quiesce()
+    report = check_index(cluster, "ix")
+    assert report.has_missing            # updates were genuinely lost
+
+
+def test_with_drain_protocol_same_scenario_is_safe():
+    """The positive control: protocol on, the same flush CANNOT happen
+    before the AUQ drains, so nothing is lost."""
+    cluster = build()                    # drain_auq_before_flush=True
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"safe"}))
+    victim_name = server_hosting(cluster, "t", b"k00")
+    victim = cluster.servers[victim_name]
+    for region in list(victim.regions.values()):
+        if region.table.name == "t" and len(region.tree._memtable) > 0:
+            cluster.run(victim.flush_region(region))
+    assert len(victim.auq) == 0          # the drain emptied it first
+    cluster.kill_server(victim_name)
+    wait_recovered(cluster, victim_name)
+    cluster.quiesce()
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_client_rides_out_recovery():
+    """A client keeps operating across the crash via partition-map
+    refresh and retries."""
+    cluster = build()
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"k00", {"c": b"before"}))
+    victim = server_hosting(cluster, "t", b"k00")
+    cluster.kill_server(victim)
+    # No explicit wait: the put retries until recovery completes.
+    cluster.run(client.put("t", b"k00", {"c": b"after"}))
+    assert cluster.run(client.get("t", b"k00"))["c"][0] == b"after"
+    assert client.route_refreshes > 0
+
+
+def test_task_from_wal_record_put_and_delete():
+    put_record = WalRecord(1, "reg", "t",
+                           (Cell(b"row\x00c", 5, b"v"),), indexed=True)
+    task = task_from_wal_record(put_record)
+    assert task.row == b"row" and task.new_values == {"c": b"v"}
+    assert task.ts == 5 and task.index_names is None
+
+    del_record = WalRecord(2, "reg", "t",
+                           (Cell(b"row\x00c", 6, None),), indexed=True)
+    task = task_from_wal_record(del_record)
+    assert task.new_values is None
+
+    unindexed = WalRecord(3, "reg", "t",
+                          (Cell(b"row\x00c", 7, b"v"),), indexed=False)
+    assert task_from_wal_record(unindexed) is None
+
+
+def test_double_failure():
+    """Two servers die one after another; the survivors absorb both."""
+    cluster = build()
+    client = cluster.new_client()
+    for i in range(20):
+        cluster.run(client.put("t", f"k{i:02d}".encode(), {"c": b"v"}))
+    victims = list(cluster.servers)[:2]
+    cluster.kill_server(victims[0])
+    wait_recovered(cluster, victims[0])
+    cluster.kill_server(victims[1])
+    wait_recovered(cluster, victims[1])
+    cluster.quiesce()
+    assert check_index(cluster, "ix").is_consistent
+    for i in range(20):
+        assert cluster.run(client.get("t", f"k{i:02d}".encode()))

@@ -1,0 +1,140 @@
+"""Region internals: cell-key composition, row reads, row locks, ranges."""
+
+import pytest
+
+from repro import KeyRange
+from repro.cluster.region import (Region, RowLocks, compose_cell_key,
+                                  split_cell_key)
+from repro.cluster.table import TableDescriptor, TableKind
+from repro.errors import SimulationError
+from repro.lsm.types import Cell
+from repro.sim import Simulator, Timeout
+
+
+def make_region(name="t,r1", start=b"", end=None):
+    descriptor = TableDescriptor("t")
+    return Region(name, descriptor, KeyRange(start, end))
+
+
+# -- cell keys -----------------------------------------------------------------
+
+def test_compose_split_roundtrip():
+    key = compose_cell_key(b"row1", "colA")
+    assert split_cell_key(key) == (b"row1", "colA")
+
+
+def test_compose_empty_qualifier_is_raw_row():
+    assert compose_cell_key(b"idxkey", "") == b"idxkey"
+    assert split_cell_key(b"idxkey") == (b"idxkey", "")
+
+
+def test_cell_keys_group_by_row():
+    """All of one row's cells sort together (scans rebuild rows)."""
+    keys = sorted([compose_cell_key(b"rowA", "z"),
+                   compose_cell_key(b"rowB", "a"),
+                   compose_cell_key(b"rowA", "a")])
+    assert keys[0].startswith(b"rowA") and keys[1].startswith(b"rowA")
+
+
+# -- row reads -------------------------------------------------------------------
+
+def test_read_row_all_columns():
+    region = make_region()
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 1, b"1"))
+    region.tree.add(Cell(compose_cell_key(b"r", "b"), 2, b"2"))
+    row = region.read_row(b"r")
+    assert row == {"a": (b"1", 1), "b": (b"2", 2)}
+
+
+def test_read_row_selected_columns():
+    region = make_region()
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 1, b"1"))
+    region.tree.add(Cell(compose_cell_key(b"r", "b"), 2, b"2"))
+    assert set(region.read_row(b"r", columns=["b"])) == {"b"}
+
+
+def test_read_row_versioned():
+    region = make_region()
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 1, b"old"))
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 5, b"new"))
+    assert region.read_row(b"r", max_ts=4)["a"] == (b"old", 1)
+    assert region.read_row(b"r")["a"] == (b"new", 5)
+
+
+def test_read_row_skips_tombstoned_columns():
+    region = make_region()
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 1, b"1"))
+    region.tree.add(Cell(compose_cell_key(b"r", "a"), 2, None))
+    assert region.read_row(b"r") == {}
+
+
+def test_iter_base_rows_groups_cells():
+    region = make_region()
+    for row in (b"r1", b"r2"):
+        region.tree.add(Cell(compose_cell_key(row, "a"), 1, b"x"))
+        region.tree.add(Cell(compose_cell_key(row, "b"), 1, b"y"))
+    rows = list(region.iter_base_rows())
+    assert [r for r, _ in rows] == [b"r1", b"r2"]
+    assert all(set(cols) == {"a", "b"} for _, cols in rows)
+
+
+def test_scan_rows_clamps_to_region_range():
+    region = make_region(start=b"m")
+    region.tree.add(Cell(b"z", 1, b"v"))
+    cells = region.scan_rows(KeyRange(b"", None))
+    assert [c.key for c in cells] == [b"z"]
+
+
+def test_contains_row():
+    region = make_region(start=b"b", end=b"m")
+    assert region.contains_row(b"b")
+    assert region.contains_row(b"g")
+    assert not region.contains_row(b"m")
+    assert not region.contains_row(b"a")
+
+
+# -- row locks ---------------------------------------------------------------------
+
+def test_row_lock_immediate_when_free():
+    locks = RowLocks()
+    assert locks.acquire(b"r").done()
+    locks.release(b"r")
+    assert locks.held == 0
+
+
+def test_row_lock_queues_fifo():
+    sim = Simulator()
+    locks = RowLocks()
+    order = []
+
+    def worker(name, hold):
+        yield locks.acquire(b"row")
+        order.append(name)
+        yield Timeout(hold)
+        locks.release(b"row")
+
+    sim.spawn(worker("first", 5))
+    sim.spawn(worker("second", 1))
+    sim.spawn(worker("third", 1))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_independent_rows_do_not_block():
+    locks = RowLocks()
+    assert locks.acquire(b"a").done()
+    assert locks.acquire(b"b").done()
+    assert locks.held == 2
+
+
+def test_release_unheld_raises():
+    locks = RowLocks()
+    with pytest.raises(SimulationError):
+        locks.release(b"never")
+
+
+def test_lock_table_cleans_up():
+    locks = RowLocks()
+    locks.acquire(b"r")
+    locks.release(b"r")
+    assert locks.held == 0

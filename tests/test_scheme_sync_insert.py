@@ -1,0 +1,122 @@
+"""The sync-insert scheme (§4.2 + Algorithm 2): lazy repair semantics."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.core.verify import actual_entries
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=3, seed=7).start()
+    c.create_table("t")
+    c.create_index(IndexDescriptor("ix", "t", ("c",),
+                                   scheme=IndexScheme.SYNC_INSERT))
+    return c
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+def hits(cluster, client, value):
+    return sorted(h.rowkey for h in
+                  cluster.run(client.get_by_index("ix", equals=[value])))
+
+
+def test_insert_visible_immediately(cluster, client):
+    cluster.run(client.put("t", b"r1", {"c": b"red"}))
+    assert hits(cluster, client, b"red") == [b"r1"]
+
+
+def test_update_leaves_stale_entry_physically(cluster, client):
+    cluster.run(client.put("t", b"r1", {"c": b"old"}))
+    cluster.run(client.put("t", b"r1", {"c": b"new"}))
+    report = check_index(cluster, "ix")
+    assert not report.missing          # never missing after a put
+    assert len(report.stale) == 1     # the old entry is still there
+
+
+def test_stale_entry_never_returned_to_clients(cluster, client):
+    cluster.run(client.put("t", b"r1", {"c": b"old"}))
+    cluster.run(client.put("t", b"r1", {"c": b"new"}))
+    assert hits(cluster, client, b"old") == []
+    assert hits(cluster, client, b"new") == [b"r1"]
+
+
+def test_read_repairs_stale_entry(cluster, client):
+    """Algorithm 2's SR2: the double-check deletes what it refutes."""
+    cluster.run(client.put("t", b"r1", {"c": b"old"}))
+    cluster.run(client.put("t", b"r1", {"c": b"new"}))
+    assert len(check_index(cluster, "ix").stale) == 1
+    hits(cluster, client, b"old")     # the query triggers the repair
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_repair_is_selective(cluster, client):
+    """Repair deletes only refuted entries, not fresh ones that share the
+    queried value."""
+    cluster.run(client.put("t", b"r1", {"c": b"v"}))   # stays at v
+    cluster.run(client.put("t", b"r2", {"c": b"v"}))
+    cluster.run(client.put("t", b"r2", {"c": b"w"}))   # r2's v goes stale
+    assert hits(cluster, client, b"v") == [b"r1"]
+    report = check_index(cluster, "ix")
+    assert report.is_consistent
+
+
+def test_update_counts_no_base_read(cluster, client):
+    cluster.run(client.put("t", b"r1", {"c": b"a"}))
+    base = cluster.counters.snapshot()
+    cluster.run(client.put("t", b"r1", {"c": b"b"}))
+    diff = cluster.counters.since(base)
+    assert diff.base_read == 0         # the whole point of sync-insert
+    assert diff.index_put == 1
+    assert diff.index_delete == 0
+
+
+def test_read_pays_k_base_reads(cluster, client):
+    for i in range(5):
+        cluster.run(client.put("t", f"r{i}".encode(), {"c": b"v"}))
+    base = cluster.counters.snapshot()
+    assert len(hits(cluster, client, b"v")) == 5
+    diff = cluster.counters.since(base)
+    assert diff.index_read == 1
+    assert diff.base_read == 5         # K = 5 double-checks
+
+
+def test_delete_leaves_stale_until_read(cluster, client):
+    cluster.run(client.put("t", b"r1", {"c": b"red"}))
+    cluster.run(client.delete("t", b"r1", columns=["c"]))
+    # physically stale...
+    assert len(actual_entries(cluster, cluster.index_descriptor("ix"))) == 1
+    # ...but logically repaired on read:
+    assert hits(cluster, client, b"red") == []
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_repeated_updates_accumulate_then_one_read_cleans(cluster, client):
+    for i in range(6):
+        cluster.run(client.put("t", b"r1", {"c": f"v{i}".encode()}))
+    assert len(check_index(cluster, "ix").stale) == 5
+    for i in range(6):
+        hits(cluster, client, f"v{i}".encode())
+    assert check_index(cluster, "ix").is_consistent
+
+
+def test_range_read_repairs_everything_in_range():
+    cluster = MiniCluster(num_servers=2, seed=8).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",),
+                                         scheme=IndexScheme.SYNC_INSERT))
+    client = cluster.new_client()
+    for i in range(8):
+        cluster.run(client.put("t", f"r{i}".encode(),
+                               {"c": f"k{i}".encode()}))
+    for i in range(8):
+        cluster.run(client.put("t", f"r{i}".encode(),
+                               {"c": f"m{i}".encode()}))
+    got = cluster.run(client.get_by_index("ix", low=b"k0", high=b"kz"))
+    assert got == []    # all k* entries are stale and get repaired
+    report = check_index(cluster, "ix")
+    assert report.is_consistent

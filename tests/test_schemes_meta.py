@@ -1,0 +1,159 @@
+"""Scheme metadata, the §3.4 advisor, counters, staleness tracker, and the
+latency model."""
+
+import pytest
+
+from repro.cluster.counters import OpCounters
+from repro.core import (ConsistencyLevel, IndexScheme, StalenessTracker,
+                        WorkloadProfile, recommend_scheme)
+from repro.core.index import IndexDescriptor
+from repro.sim import LatencyModel
+
+
+# -- scheme enum ---------------------------------------------------------------
+
+def test_scheme_consistency_mapping():
+    assert IndexScheme.SYNC_FULL.consistency is ConsistencyLevel.CAUSAL
+    assert (IndexScheme.SYNC_INSERT.consistency
+            is ConsistencyLevel.CAUSAL_READ_REPAIR)
+    assert IndexScheme.ASYNC_SIMPLE.consistency is ConsistencyLevel.EVENTUAL
+    assert IndexScheme.ASYNC_SESSION.consistency is ConsistencyLevel.SESSION
+
+
+def test_scheme_async_flag():
+    assert not IndexScheme.SYNC_FULL.is_async
+    assert not IndexScheme.SYNC_INSERT.is_async
+    assert IndexScheme.ASYNC_SIMPLE.is_async
+    assert IndexScheme.ASYNC_SESSION.is_async
+
+
+# -- the §3.4 advisor -------------------------------------------------------------
+
+def test_advisor_principles():
+    # (2) sync-full when read latency is critical
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, read_latency_critical=True)) \
+        is IndexScheme.SYNC_FULL
+    # (3) sync-insert when update latency is critical
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, update_latency_critical=True)) \
+        is IndexScheme.SYNC_INSERT
+    # (1) consistency without a latency priority -> sync-full
+    assert recommend_scheme(WorkloadProfile(needs_consistency=True)) \
+        is IndexScheme.SYNC_FULL
+    # (4) no consistency concern -> async
+    assert recommend_scheme(WorkloadProfile()) is IndexScheme.ASYNC_SIMPLE
+    # (5) read-your-writes wins over everything
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, needs_read_your_writes=True)) \
+        is IndexScheme.ASYNC_SESSION
+
+
+# -- index descriptor ----------------------------------------------------------------
+
+def test_index_descriptor_validation():
+    with pytest.raises(ValueError):
+        IndexDescriptor("ix", "t", ())
+
+
+def test_index_descriptor_table_name():
+    index = IndexDescriptor("by_title", "item", ("title",))
+    assert index.table_name == "__idx__item__by_title"
+    assert not index.is_composite
+    assert IndexDescriptor("ix", "t", ("a", "b")).is_composite
+
+
+# -- counters ---------------------------------------------------------------------------
+
+def test_counters_snapshot_diff():
+    counters = OpCounters()
+    counters.incr("base_put")
+    snap = counters.snapshot()
+    counters.incr("base_put", 2)
+    counters.incr("index_read")
+    diff = counters.since(snap)
+    assert diff.base_put == 2
+    assert diff.index_read == 1
+    assert diff.base_read == 0
+
+
+def test_counters_reset():
+    counters = OpCounters()
+    counters.incr("base_put")
+    counters.reset()
+    assert counters.snapshot().base_put == 0
+
+
+def test_snapshot_as_dict_keys():
+    counters = OpCounters()
+    d = counters.snapshot().as_dict()
+    assert {"base_put", "base_read", "index_put", "index_delete",
+            "index_read", "async_base_read", "async_index_put",
+            "async_index_delete"} <= set(d)
+
+
+# -- staleness tracker ----------------------------------------------------------------------
+
+def test_staleness_records_and_summarises():
+    tracker = StalenessTracker()
+    for lag in [10, 20, 30, 40, 1000]:
+        tracker.record(0, lag)
+    assert tracker.observed == 5
+    assert tracker.mean() == pytest.approx(220.0)
+    assert tracker.max() == 1000.0
+    assert tracker.fraction_within(100.0) == pytest.approx(0.8)
+    pct = tracker.percentiles((50, 100))
+    assert pct[50] == 30.0 and pct[100] == 1000.0
+
+
+def test_staleness_sampling_keeps_fraction():
+    tracker = StalenessTracker(sample_rate=0.1, seed=3)
+    for i in range(5000):
+        tracker.record(0, float(i))
+    assert tracker.observed == 5000
+    assert 300 < len(tracker.lags_ms) < 800
+
+
+def test_staleness_clamps_negative():
+    tracker = StalenessTracker()
+    tracker.record(100, 50.0)       # completion "before" base ts
+    assert tracker.lags_ms == [0.0]
+
+
+def test_staleness_invalid_rate():
+    with pytest.raises(ValueError):
+        StalenessTracker(sample_rate=1.5)
+
+
+def test_staleness_reset():
+    tracker = StalenessTracker()
+    tracker.record(0, 10)
+    tracker.reset()
+    assert tracker.observed == 0 and tracker.lags_ms == []
+
+
+# -- latency model ------------------------------------------------------------------------------
+
+def test_latency_model_asymmetry():
+    """The premise of the whole paper: disk reads cost much more than
+    log appends + memtable ops."""
+    model = LatencyModel()
+    write = model.wal_append() + model.memtable_op()
+    read_miss = model.read_cost(1, 0, 1, 1)
+    assert read_miss > 5 * write
+
+
+def test_latency_model_scaling():
+    model = LatencyModel()
+    scaled = model.scaled(2.0)
+    assert scaled.wal_append() == pytest.approx(2 * model.wal_append())
+    assert scaled.read_cost(1, 0, 0, 0) == pytest.approx(
+        2 * model.read_cost(1, 0, 0, 0))
+    # scaling composes
+    assert scaled.scaled(3.0).virtualization_factor == pytest.approx(6.0)
+
+
+def test_flush_and_compact_costs_grow_with_cells():
+    model = LatencyModel()
+    assert model.flush_cost(1000) > model.flush_cost(10)
+    assert model.compact_cost(1000) > model.compact_cost(10)

@@ -1,0 +1,156 @@
+"""async-session (§5.2): read-your-writes, expiry, memory cap."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster
+from repro.errors import SessionExpiredError
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=3, seed=12).start()
+    c.create_table("t")
+    c.create_index(IndexDescriptor("ix", "t", ("c",),
+                                   scheme=IndexScheme.ASYNC_SESSION))
+    return c
+
+
+def pause_aps(cluster):
+    for server in cluster.servers.values():
+        server.aps_gate.close()
+
+
+def resume_aps(cluster):
+    for server in cluster.servers.values():
+        server.aps_gate.open()
+
+
+def hits(cluster, client, value, session=None):
+    return sorted(h.rowkey for h in cluster.run(
+        client.get_by_index("ix", equals=[value], session=session)))
+
+
+def test_read_your_own_insert(cluster):
+    client = cluster.new_client()
+    session = client.get_session()
+    pause_aps(cluster)
+    cluster.run(client.put("t", b"r1", {"c": b"red"}, session=session))
+    assert hits(cluster, client, b"red", session) == [b"r1"]
+    # without the session, the entry is not there yet
+    assert hits(cluster, client, b"red") == []
+
+
+def test_read_your_own_update(cluster):
+    """The session must also hide the OLD entry its own update displaced."""
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"c": b"old"}))
+    cluster.quiesce()
+    session = client.get_session()
+    pause_aps(cluster)
+    cluster.run(client.put("t", b"r1", {"c": b"new"}, session=session))
+    assert hits(cluster, client, b"new", session) == [b"r1"]
+    assert hits(cluster, client, b"old", session) == []   # displaced
+    # a session-less reader still sees the stale server state:
+    assert hits(cluster, client, b"old") == [b"r1"]
+
+
+def test_read_your_own_delete(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"c": b"red"}))
+    cluster.quiesce()
+    session = client.get_session()
+    pause_aps(cluster)
+    cluster.run(client.delete("t", b"r1", columns=["c"], session=session))
+    assert hits(cluster, client, b"red", session) == []
+    assert hits(cluster, client, b"red") == [b"r1"]   # server lags
+
+
+def test_other_sessions_are_not_entangled(cluster):
+    u1, u2 = cluster.new_client("u1"), cluster.new_client("u2")
+    s1, s2 = u1.get_session(), u2.get_session()
+    pause_aps(cluster)
+    cluster.run(u1.put("t", b"r1", {"c": b"x"}, session=s1))
+    assert hits(cluster, u1, b"x", s1) == [b"r1"]
+    assert hits(cluster, u2, b"x", s2) == []     # u2's session knows nothing
+
+
+def test_session_get_merges_base_row(cluster):
+    client = cluster.new_client()
+    session = client.get_session()
+    cluster.run(client.put("t", b"r1", {"c": b"v", "d": b"1"},
+                           session=session))
+    row = cluster.run(client.get("t", b"r1", session=session))
+    assert row["c"][0] == b"v"
+
+
+def test_session_expiry(cluster):
+    client = cluster.new_client()
+    session = client.get_session(max_duration_ms=1000.0)
+    cluster.run(client.put("t", b"r1", {"c": b"v"}, session=session))
+    cluster.advance(2000.0)
+    with pytest.raises(SessionExpiredError):
+        cluster.run(client.put("t", b"r2", {"c": b"w"}, session=session))
+    assert session.ended
+
+
+def test_expired_session_data_garbage_collected(cluster):
+    client = cluster.new_client()
+    session = client.get_session(max_duration_ms=500.0)
+    cluster.run(client.put("t", b"r1", {"c": b"v"}, session=session))
+    assert session.entry_count > 0
+    cluster.advance(1000.0)
+    with pytest.raises(SessionExpiredError):
+        cluster.run(client.get_by_index("ix", equals=[b"v"],
+                                        session=session))
+    assert session.entry_count == 0
+
+
+def test_end_session_clears_state(cluster):
+    client = cluster.new_client()
+    session = client.get_session()
+    cluster.run(client.put("t", b"r1", {"c": b"v"}, session=session))
+    client.end_session(session)
+    assert session.ended
+    with pytest.raises(SessionExpiredError):
+        cluster.run(client.put("t", b"r2", {"c": b"w"}, session=session))
+
+
+def test_memory_cap_disables_session_consistency(cluster):
+    """The paper's OOM protection: past the cap, session consistency is
+    auto-disabled instead of growing without bound."""
+    client = cluster.new_client()
+    session = client.get_session(memory_limit_entries=10)
+    pause_aps(cluster)
+    for i in range(20):
+        cluster.run(client.put("t", f"r{i:02d}".encode(),
+                               {"c": f"v{i}".encode()}, session=session))
+    assert session.disabled
+    assert session.entry_count == 0    # private tables were released
+    # the API still works, now with plain eventual consistency:
+    assert hits(cluster, client, b"v19", session) == []
+    resume_aps(cluster)
+    cluster.quiesce()
+    assert hits(cluster, client, b"v19", session) == [b"r19"]
+
+
+def test_session_converges_with_server_state(cluster):
+    """After the AUQ catches up, session and server views agree."""
+    client = cluster.new_client()
+    session = client.get_session()
+    cluster.run(client.put("t", b"r1", {"c": b"a"}, session=session))
+    cluster.run(client.put("t", b"r1", {"c": b"b"}, session=session))
+    cluster.quiesce()
+    assert hits(cluster, client, b"b", session) == [b"r1"]
+    assert hits(cluster, client, b"a", session) == []
+    assert hits(cluster, client, b"b") == [b"r1"]
+
+
+def test_session_put_costs_one_extra_base_read(cluster):
+    client = cluster.new_client()
+    session = client.get_session()
+    cluster.run(client.put("t", b"r1", {"c": b"a"}))
+    cluster.quiesce()
+    base = cluster.counters.snapshot()
+    cluster.run(client.put("t", b"r1", {"c": b"b"}, session=session))
+    diff = cluster.counters.since(base)
+    assert diff.base_read == 1    # the server returned the old value

@@ -1,0 +1,123 @@
+"""Unit-level tests of the Session private-view merge logic (§5.2),
+exercised without a cluster."""
+
+import pytest
+
+from repro.core.index import IndexDescriptor, row_index_key
+from repro.core.schemes import IndexScheme
+from repro.core.session import Session
+from repro.errors import SessionExpiredError
+
+INDEX = IndexDescriptor("ix", "t", ("c",), scheme=IndexScheme.ASYNC_SESSION)
+
+
+def make_session(**kwargs):
+    return Session(created_at=0.0, **kwargs)
+
+
+def key_for(value, row):
+    return row_index_key(INDEX, (value,), row)
+
+
+def full_range(results, session):
+    return session.merge_index_results("ix", results, b"", None)
+
+
+def test_private_insert_added():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"v"}, {}, ts=10,
+                       session_indexes=[INDEX])
+    merged = full_range({}, session)
+    assert merged == {key_for(b"v", b"r1"): 10}
+
+
+def test_private_delete_marker_suppresses_server_entry():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"new"}, {"c": b"old"}, ts=10,
+                       session_indexes=[INDEX])
+    server = {key_for(b"old", b"r1"): 5}
+    merged = full_range(server, session)
+    assert key_for(b"old", b"r1") not in merged
+    assert key_for(b"new", b"r1") in merged
+
+
+def test_delete_marker_does_not_suppress_newer_server_entry():
+    """If the server already has a NEWER entry for that key (someone else
+    re-inserted the value after our delete), the marker must not hide it."""
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"new"}, {"c": b"old"}, ts=10,
+                       session_indexes=[INDEX])
+    server = {key_for(b"old", b"r1"): 25}   # newer than our ts-δ marker
+    merged = full_range(server, session)
+    assert key_for(b"old", b"r1") in merged
+
+
+def test_range_filter_applies_to_private_entries():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"m"}, {}, ts=10,
+                       session_indexes=[INDEX])
+    lo, hi = key_for(b"a", b""), key_for(b"f", b"\xff")
+    merged = session.merge_index_results("ix", {}, lo, hi)
+    assert merged == {}   # 'm' is outside [a, f]
+
+
+def test_merge_base_row_overlays_private_cells():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"mine"}, {}, ts=10,
+                       session_indexes=[INDEX])
+    merged = session.merge_base_row("t", b"r1",
+                                    {"c": (b"server", 5),
+                                     "other": (b"x", 5)})
+    assert merged["c"] == (b"mine", 10)
+    assert merged["other"] == (b"x", 5)
+
+
+def test_merge_base_row_private_delete_hides_column():
+    session = make_session()
+    session.record_delete("t", b"r1", ["c"], {"c": b"old"}, ts=10,
+                          session_indexes=[INDEX])
+    merged = session.merge_base_row("t", b"r1", {"c": (b"server", 5)})
+    assert "c" not in merged
+
+
+def test_server_newer_than_private_wins_in_base_merge():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"mine"}, {}, ts=10,
+                       session_indexes=[INDEX])
+    merged = session.merge_base_row("t", b"r1", {"c": (b"fresher", 99)})
+    assert merged["c"] == (b"fresher", 99)
+
+
+def test_disabled_session_is_passthrough():
+    session = make_session(memory_limit_entries=1)
+    session.record_put("t", b"r1", {"c": b"a"}, {}, 1, [INDEX])
+    session.record_put("t", b"r2", {"c": b"b"}, {}, 2, [INDEX])
+    assert session.disabled
+    server = {b"anything": 1}
+    assert full_range(server, session) == server
+    assert session.merge_base_row("t", b"r1", {"c": (b"x", 1)}) \
+        == {"c": (b"x", 1)}
+
+
+def test_touch_updates_activity_and_expires():
+    session = make_session(max_duration_ms=100.0)
+    session.touch(50.0)
+    session.touch(120.0)   # within 100 of last_active (50)
+    with pytest.raises(SessionExpiredError):
+        session.touch(500.0)
+    assert session.ended
+
+
+def test_record_after_disable_is_noop():
+    session = make_session(memory_limit_entries=0)
+    session.record_put("t", b"r1", {"c": b"a"}, {}, 1, [INDEX])
+    assert session.disabled
+    session.record_put("t", b"r2", {"c": b"b"}, {}, 2, [INDEX])
+    assert session.entry_count == 0
+
+
+def test_entry_count_counts_both_views():
+    session = make_session()
+    session.record_put("t", b"r1", {"c": b"a"}, {"c": b"z"}, 5, [INDEX])
+    # base view: 1 cell; index view: insert + delete marker = 2
+    assert session.entry_count == 3

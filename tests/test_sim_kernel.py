@@ -1,0 +1,245 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import ProcessCrashed, SimulationError
+from repro.sim import Future, Simulator, Timeout, all_of
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now() == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(10)
+        return sim.now()
+
+    assert sim.run_until_complete(sim.spawn(proc())) == 10.0
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(3)
+        yield Timeout(4)
+        return sim.now()
+
+    assert sim.run_until_complete(sim.spawn(proc())) == 7.0
+
+
+def test_processes_interleave_by_time():
+    sim = Simulator()
+    order = []
+
+    def slow():
+        yield Timeout(10)
+        order.append("slow")
+
+    def fast():
+        yield Timeout(1)
+        order.append("fast")
+
+    sim.spawn(slow())
+    sim.spawn(fast())
+    sim.run()
+    assert order == ["fast", "slow"]
+
+
+def test_process_return_value_via_future():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(2)
+        return "done"
+
+    def parent():
+        result = yield sim.spawn(child())
+        return result + "!"
+
+    assert sim.run_until_complete(sim.spawn(parent())) == "done!"
+
+
+def test_waiting_on_future():
+    sim = Simulator()
+    future = Future()
+
+    def setter():
+        yield Timeout(5)
+        future.set_result(99)
+
+    def waiter():
+        value = yield future
+        return (value, sim.now())
+
+    sim.spawn(setter())
+    assert sim.run_until_complete(sim.spawn(waiter())) == (99, 5.0)
+
+
+def test_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except ValueError as error:
+            return f"caught {error}"
+
+    assert sim.run_until_complete(sim.spawn(parent())) == "caught boom"
+
+
+def test_unobserved_crash_raises_process_crashed():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1)
+        raise RuntimeError("unseen")
+
+    sim.spawn(bad())
+    with pytest.raises(ProcessCrashed):
+        sim.run()
+
+
+def test_run_until_stops_at_time():
+    sim = Simulator()
+    events = []
+
+    def proc():
+        yield Timeout(10)
+        events.append("late")
+
+    sim.spawn(proc())
+    sim.run(until=5)
+    assert events == []
+    assert sim.now() == 5.0
+    sim.run()
+    assert events == ["late"]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.call_at(5, lambda: None)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_future_resolved_twice_rejected():
+    future = Future()
+    future.set_result(1)
+    with pytest.raises(SimulationError):
+        future.set_result(2)
+
+
+def test_future_result_before_done_rejected():
+    with pytest.raises(SimulationError):
+        Future().result()
+
+
+def test_yielding_garbage_crashes_process():
+    sim = Simulator()
+
+    def bad():
+        yield "not-a-waitable"
+
+    process = sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(process)
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+
+    def stuck():
+        yield Future()  # never resolved
+
+    process = sim.spawn(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(process)
+
+
+def test_all_of_collects_in_input_order():
+    sim = Simulator()
+
+    def make(delay, value):
+        def proc():
+            yield Timeout(delay)
+            return value
+        return proc()
+
+    procs = [sim.spawn(make(5, "a")), sim.spawn(make(1, "b"))]
+
+    def waiter():
+        results = yield all_of(sim, procs)
+        return results
+
+    assert sim.run_until_complete(sim.spawn(waiter())) == ["a", "b"]
+
+
+def test_all_of_empty_resolves_immediately():
+    sim = Simulator()
+    future = all_of(sim, [])
+    assert future.done()
+    assert future.result() == []
+
+
+def test_all_of_propagates_first_exception():
+    sim = Simulator()
+
+    def ok():
+        yield Timeout(1)
+
+    def bad():
+        yield Timeout(2)
+        raise KeyError("x")
+
+    def waiter():
+        try:
+            yield all_of(sim, [sim.spawn(ok()), sim.spawn(bad())])
+        except KeyError:
+            return "failed"
+
+    assert sim.run_until_complete(sim.spawn(waiter())) == "failed"
+
+
+def test_spawn_runs_first_step_immediately():
+    sim = Simulator()
+    marks = []
+
+    def proc():
+        marks.append("started")
+        yield Timeout(1)
+
+    sim.spawn(proc())
+    assert marks == ["started"]
+
+
+def test_call_later_with_args():
+    sim = Simulator()
+    seen = []
+    sim.call_later(3, seen.append, "x")
+    sim.run()
+    assert seen == ["x"]
+    assert sim.now() == 3.0
+
+
+def test_event_ordering_is_fifo_at_same_time():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1, seen.append, 1)
+    sim.call_later(1, seen.append, 2)
+    sim.call_later(1, seen.append, 3)
+    sim.run()
+    assert seen == [1, 2, 3]

@@ -1,0 +1,53 @@
+"""Remaining latency-model corners and RPC jitter behaviour."""
+
+import pytest
+
+from repro.sim import LatencyModel
+from repro.sim.random import RandomStream
+
+
+def test_rpc_delay_without_rng_is_deterministic():
+    model = LatencyModel()
+    assert model.rpc_delay() == model.rpc_one_way_ms
+
+
+def test_rpc_delay_with_rng_is_jittered_but_bounded():
+    model = LatencyModel()
+    rng = RandomStream(1)
+    delays = [model.rpc_delay(rng) for _ in range(200)]
+    assert all(model.rpc_one_way_ms <= d
+               <= model.rpc_one_way_ms + model.rpc_jitter_ms
+               for d in delays)
+    assert len(set(delays)) > 1
+
+
+def test_read_cost_components_additive():
+    model = LatencyModel()
+    disk_only = model.read_cost(2, 0, 0, 0)
+    cache_only = model.read_cost(0, 3, 0, 0)
+    both = model.read_cost(2, 3, 0, 0)
+    assert both == pytest.approx(disk_only + cache_only)
+
+
+def test_virtualization_scales_rpc_and_maintenance():
+    model = LatencyModel().scaled(3.0)
+    base = LatencyModel()
+    assert model.rpc_delay() == pytest.approx(3 * base.rpc_delay())
+    assert model.flush_cost(100) == pytest.approx(3 * base.flush_cost(100))
+    assert model.compact_cost(100) == pytest.approx(
+        3 * base.compact_cost(100))
+
+
+def test_scaled_does_not_mutate_original():
+    base = LatencyModel()
+    before = base.wal_append()
+    base.scaled(10.0)
+    assert base.wal_append() == before
+
+
+def test_write_read_asymmetry_is_an_order_of_magnitude():
+    """The premise the paper builds on, kept honest by the defaults."""
+    model = LatencyModel()
+    write = model.wal_append() + model.memtable_op()
+    read = model.read_cost(1, 0, 1, 1)
+    assert read / write > 10

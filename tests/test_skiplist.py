@@ -1,0 +1,88 @@
+"""Unit and property tests for the skiplist ordered map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+
+def test_empty():
+    sl = SkipList()
+    assert len(sl) == 0
+    assert sl.get(b"x") is None
+    assert b"x" not in sl
+    assert sl.first_key() is None
+    assert sl.last_key() is None
+
+
+def test_insert_get():
+    sl = SkipList()
+    sl.insert(b"b", 2)
+    sl.insert(b"a", 1)
+    sl.insert(b"c", 3)
+    assert sl.get(b"a") == 1
+    assert sl.get(b"b") == 2
+    assert sl.get(b"c") == 3
+    assert len(sl) == 3
+
+
+def test_upsert_overwrites():
+    sl = SkipList()
+    sl.insert(b"k", 1)
+    sl.insert(b"k", 2)
+    assert sl.get(b"k") == 2
+    assert len(sl) == 1
+
+
+def test_items_sorted():
+    sl = SkipList()
+    for key in [b"m", b"a", b"z", b"c"]:
+        sl.insert(key, key)
+    assert [k for k, _v in sl.items()] == [b"a", b"c", b"m", b"z"]
+
+
+def test_items_from_seeks():
+    sl = SkipList()
+    for key in [b"a", b"c", b"e", b"g"]:
+        sl.insert(key, key)
+    assert [k for k, _v in sl.items_from(b"c")] == [b"c", b"e", b"g"]
+    assert [k for k, _v in sl.items_from(b"d")] == [b"e", b"g"]
+    assert [k for k, _v in sl.items_from(b"h")] == []
+    assert [k for k, _v in sl.items_from(b"")] == [b"a", b"c", b"e", b"g"]
+
+
+def test_first_last_key():
+    sl = SkipList()
+    for key in [b"m", b"a", b"z"]:
+        sl.insert(key, None)
+    assert sl.first_key() == b"a"
+    assert sl.last_key() == b"z"
+
+
+def test_default_on_missing():
+    sl = SkipList()
+    assert sl.get(b"nope", "dflt") == "dflt"
+
+
+@settings(max_examples=60)
+@given(st.dictionaries(st.binary(min_size=1, max_size=8), st.integers(),
+                       max_size=200))
+def test_property_matches_dict(model):
+    sl = SkipList(seed=7)
+    for key, value in model.items():
+        sl.insert(key, value)
+    assert len(sl) == len(model)
+    assert list(k for k, _ in sl.items()) == sorted(model)
+    for key, value in model.items():
+        assert sl.get(key) == value
+
+
+@settings(max_examples=40)
+@given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=80),
+       st.binary(min_size=0, max_size=6))
+def test_property_items_from_matches_sorted_filter(keys, start):
+    sl = SkipList(seed=3)
+    for key in keys:
+        sl.insert(key, key)
+    expect = sorted(set(k for k in keys if k >= start))
+    assert [k for k, _ in sl.items_from(start)] == expect

@@ -1,0 +1,71 @@
+"""The consistency-check oracle itself (repro.core.verify)."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, MiniCluster, check_index
+from repro.core.verify import actual_entries, expected_entries
+from repro.lsm.types import Cell
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=2, seed=38).start()
+    c.create_table("t")
+    c.create_index(IndexDescriptor("ix", "t", ("c",),
+                                   scheme=IndexScheme.SYNC_FULL))
+    return c
+
+
+def test_empty_index_is_consistent(cluster):
+    report = check_index(cluster, "ix")
+    assert report.is_consistent
+    assert report.expected_count == report.actual_count == 0
+
+
+def test_expected_reflects_current_values(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"c": b"a"}))
+    cluster.run(client.put("t", b"r1", {"c": b"b"}))   # overwrite
+    index = cluster.index_descriptor("ix")
+    expected = expected_entries(cluster, index)
+    assert len(expected) == 1     # only the current value counts
+
+
+def test_detects_missing(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"c": b"a"}))
+    index = cluster.index_descriptor("ix")
+    (key, ts), = actual_entries(cluster, index).items()
+    info = cluster.master.locate(index.table_name, key)
+    region = cluster.servers[info.server_name].regions[info.region_name]
+    region.tree.add(Cell(key, ts, None))   # vandalise the entry
+    report = check_index(cluster, "ix")
+    assert report.has_missing and not report.stale
+    assert key in report.missing
+
+
+def test_detects_stale(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"c": b"a"}))
+    index = cluster.index_descriptor("ix")
+    ghost = b"\x04zombie\x00\x00r9"
+    info = cluster.master.locate(index.table_name, ghost)
+    region = cluster.servers[info.server_name].regions[info.region_name]
+    region.tree.add(Cell(ghost, 999, b""))   # fabricate a stale entry
+    report = check_index(cluster, "ix")
+    assert report.stale == {ghost}
+    assert not report.missing
+
+
+def test_report_string_is_informative(cluster):
+    report = check_index(cluster, "ix")
+    text = str(report)
+    assert "ix" in text and "missing=0" in text
+
+
+def test_rows_without_indexed_column_are_ignored(cluster):
+    client = cluster.new_client()
+    cluster.run(client.put("t", b"r1", {"other": b"1"}))
+    report = check_index(cluster, "ix")
+    assert report.expected_count == 0
+    assert report.is_consistent

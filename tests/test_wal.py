@@ -1,0 +1,85 @@
+"""Unit tests for the write-ahead log (append, split, roll-forward)."""
+
+from repro.lsm import Cell, WriteAheadLog
+
+
+def record(wal, region, key=b"k", ts=1, indexed=False):
+    return wal.append(region, "t", (Cell(key, ts, b"v"),), indexed=indexed)
+
+
+def test_append_assigns_increasing_seqnos():
+    wal = WriteAheadLog()
+    r1 = record(wal, "regA")
+    r2 = record(wal, "regA")
+    assert r2.seqno > r1.seqno
+    assert len(wal) == 2
+
+
+def test_records_for_region_filters():
+    wal = WriteAheadLog()
+    record(wal, "regA")
+    record(wal, "regB")
+    record(wal, "regA")
+    assert len(wal.records_for_region("regA")) == 2
+    assert len(wal.records_for_region("regB")) == 1
+    assert wal.records_for_region("regC") == []
+
+
+def test_split_groups_by_region():
+    wal = WriteAheadLog()
+    record(wal, "regA")
+    record(wal, "regB")
+    split = wal.split()
+    assert set(split) == {"regA", "regB"}
+
+
+def test_roll_forward_drops_only_flushed_records():
+    """The WAL roll after a flush must keep records newer than the
+    flush point — they cover the new memtable (and its AUQ entries)."""
+    wal = WriteAheadLog()
+    r1 = record(wal, "regA")
+    r2 = record(wal, "regA")
+    r3 = record(wal, "regB")
+    dropped = wal.roll_forward("regA", r1.seqno)
+    assert dropped == 1
+    remaining = [r.seqno for r in wal.records()]
+    assert r1.seqno not in remaining
+    assert r2.seqno in remaining
+    assert r3.seqno in remaining
+
+
+def test_roll_forward_other_region_untouched():
+    wal = WriteAheadLog()
+    record(wal, "regA")
+    r_b = record(wal, "regB")
+    wal.roll_forward("regA", 10 ** 9)
+    assert wal.records_for_region("regB") == [r_b]
+
+
+def test_max_seqno():
+    wal = WriteAheadLog()
+    assert wal.max_seqno("regA") == 0
+    r = record(wal, "regA")
+    assert wal.max_seqno("regA") == r.seqno
+
+
+def test_indexed_flag_preserved():
+    wal = WriteAheadLog()
+    r = record(wal, "regA", indexed=True)
+    assert wal.records()[0].indexed
+
+
+def test_backing_list_is_shared():
+    """The WAL writes through to the durable backing list (SimHDFS)."""
+    backing = []
+    wal = WriteAheadLog(backing)
+    record(wal, "regA")
+    assert len(backing) == 1
+    wal.roll_forward("regA", 10 ** 9)
+    assert backing == []
+
+
+def test_approximate_bytes_positive():
+    wal = WriteAheadLog()
+    record(wal, "regA")
+    assert wal.approximate_bytes > 0
