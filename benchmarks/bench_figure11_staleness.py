@@ -15,14 +15,16 @@ from repro.bench import figure11_staleness, format_table
 def test_figure11_staleness(benchmark):
     results = benchmark.pedantic(figure11_staleness, rounds=1, iterations=1)
     rows = []
-    for rate, percentiles, frac_100ms in results:
+    for rate, percentiles, frac_100ms, live in results:
         rows.append([f"{rate:.0f}",
                      f"{percentiles[50]:.1f}", f"{percentiles[90]:.1f}",
                      f"{percentiles[99]:.1f}", f"{percentiles[100]:.1f}",
-                     f"{frac_100ms:.0%}"])
+                     f"{frac_100ms:.0%}",
+                     f"{live['p50_ms']:.1f}", f"{live['p99_ms']:.1f}"])
     print()
     print(format_table(
-        ["target TPS", "p50 lag (ms)", "p90", "p99", "max", "<=100ms"],
+        ["target TPS", "p50 lag (ms)", "p90", "p99", "max", "<=100ms",
+         "live p50", "live p99"],
         rows, title="Figure 11 — index staleness (T2 - T1) vs load"))
 
     modest = results[0]
@@ -34,3 +36,18 @@ def test_figure11_staleness(benchmark):
     # Monotone-ish growth of the tail with load.
     p99s = [r[1][99] for r in results]
     assert p99s[-1] > p99s[0]
+
+    # Cross-check: the live auq_lag_ms histogram probe measures the same
+    # T2−T1 as the post-hoc StalenessTracker.  Every completed task is
+    # counted by both (the tracker samples only its stored lag list, not
+    # its count), so the counts must agree exactly; the medians agree
+    # within histogram-bucket resolution.
+    for rate, percentiles, _frac, live in results:
+        assert live["count"] == live["observed"]
+        posthoc_p50 = percentiles[50]
+        # Bucket edges grow geometrically (~2.5x), so interpolation can be
+        # off by up to one bucket width; allow that plus sampling noise.
+        tolerance = max(20.0, 0.75 * max(posthoc_p50, live["p50_ms"]))
+        assert abs(live["p50_ms"] - posthoc_p50) <= tolerance, (
+            f"rate {rate}: live p50 {live['p50_ms']:.1f} ms vs post-hoc "
+            f"{posthoc_p50:.1f} ms diverges beyond bucket resolution")

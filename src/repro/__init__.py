@@ -30,6 +30,7 @@ from repro.core import (ConsistencyLevel, IndexDescriptor, IndexHit,
 from repro.cluster import (Client, FaultPlan, MiniCluster, ServerConfig,
                            even_split_keys)
 from repro.lsm import Cell, KeyRange
+from repro.obs import MetricsRegistry, Tracer
 from repro.sim import LatencyModel
 
 __version__ = "1.0.0"
@@ -40,6 +41,6 @@ __all__ = [
     "WorkloadProfile", "recommend_scheme",
     "IndexHit", "IndexReport", "Session", "check_index",
     "encode_value", "decode_value", "even_split_keys",
-    "Cell", "KeyRange", "LatencyModel",
+    "Cell", "KeyRange", "LatencyModel", "MetricsRegistry", "Tracer",
     "__version__",
 ]

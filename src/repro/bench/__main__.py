@@ -15,7 +15,8 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.bench import experiments as exp
-from repro.bench.report import format_series, format_table
+from repro.bench.report import (format_series, format_table,
+                                render_metrics_snapshot)
 
 
 def _run_table1() -> str:
@@ -54,11 +55,14 @@ def _run_figure10() -> str:
 
 def _run_figure11() -> str:
     rows = [[f"{rate:.0f}", f"{pct[50]:.1f}", f"{pct[99]:.1f}",
-             f"{frac:.0%}"]
-            for rate, pct, frac in exp.figure11_staleness()]
+             f"{frac:.0%}", f"{live['p50_ms']:.1f}",
+             f"{live['p99_ms']:.1f}", f"{live['count']:.0f}"]
+            for rate, pct, frac, live in exp.figure11_staleness()]
     return format_table(["target TPS", "p50 lag (ms)", "p99 lag (ms)",
-                         "<=100ms"], rows,
-                        title="Figure 11 — index staleness vs load")
+                         "<=100ms", "live p50", "live p99", "live n"],
+                        rows,
+                        title="Figure 11 — index staleness vs load "
+                              "(post-hoc tracker | live auq_lag_ms probe)")
 
 
 def _run_index_vs_scan() -> str:
@@ -66,6 +70,25 @@ def _run_index_vs_scan() -> str:
     return (f"index: {result['index_ms']:.2f} ms | "
             f"scan: {result['scan_ms']:.2f} ms | "
             f"speedup: {result['speedup']:.0f}x")
+
+
+def _run_metrics() -> str:
+    """One mixed YCSB run with the full observability snapshot attached —
+    AUQ depth/lag probes, per-phase span latencies, RPC histograms."""
+    from repro.bench.harness import Experiment, ExperimentConfig
+    from repro.ycsb.workload import OpType
+    config = ExperimentConfig(record_count=1500, title_cardinality=300,
+                              scheme_label="async")
+    experiment = Experiment(config)
+    result = experiment.run_closed(
+        {OpType.UPDATE: 0.6, OpType.INDEX_READ: 0.4},
+        num_threads=8, duration_ms=1500.0, warmup_ms=200.0)
+    experiment.cluster.quiesce()
+    overall = result.overall()
+    header = (f"mixed update/index-read run (async scheme): "
+              f"{overall.count} ops, mean {overall.mean_ms:.2f} ms")
+    return header + "\n\n" + render_metrics_snapshot(
+        experiment.metrics_snapshot())
 
 
 def _run_drain_ablation() -> str:
@@ -88,6 +111,7 @@ RUNNERS: Dict[str, Callable[[], str]] = {
     "figure11": _run_figure11,
     "index-vs-scan": _run_index_vs_scan,
     "drain-ablation": _run_drain_ablation,
+    "metrics": _run_metrics,
 }
 
 

@@ -359,9 +359,13 @@ def figure10_scaleout(duration_ms: float = 1200.0) -> Tuple[Series, Series]:
 def figure11_staleness(rates_tps: Optional[List[float]] = None,
                        duration_ms: float = 4000.0,
                        record_count: int = 2000,
-                       ) -> List[Tuple[float, Dict[float, float], float]]:
+                       ) -> List[Tuple[float, Dict[float, float], float,
+                                       Dict[str, float]]]:
     """Open-loop async-simple updates at fixed rates; report the T2−T1
-    distribution.  Returns ``[(rate, percentiles, frac_within_100ms)]``."""
+    distribution.  Returns ``[(rate, percentiles, frac_within_100ms,
+    live)]`` where ``live`` comes from the always-on ``auq_lag_ms``
+    histogram probe (repro.obs) — the same T2−T1 measured a second way,
+    so the post-hoc tracker and the live gauge can be cross-checked."""
     if rates_tps is None:
         rates_tps = ([600, 1500, 2700, 4000] if bench_scale() == "full"
                      else [600, 2000, 3600])
@@ -375,8 +379,14 @@ def figure11_staleness(rates_tps: Optional[List[float]] = None,
         exp.run_open({OpType.UPDATE: 1.0}, target_tps=rate,
                      duration_ms=duration_ms, warmup_ms=300.0)
         tracker = exp.cluster.staleness
+        lag = exp.cluster.metrics.merged_histogram("auq_lag_ms")
+        live = {"count": float(lag.count),
+                "mean_ms": lag.mean(),
+                "p50_ms": lag.percentile(50),
+                "p99_ms": lag.percentile(99),
+                "observed": float(tracker.observed)}
         out.append((rate, tracker.percentiles((50, 90, 99, 100)),
-                    tracker.fraction_within(100.0)))
+                    tracker.fraction_within(100.0), live))
     return out
 
 

@@ -130,6 +130,12 @@ class Experiment:
                                 seed=self.config.seed)
         return driver.run(duration_ms=duration_ms, warmup_ms=warmup_ms)
 
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time dump of the cluster's observability registry —
+        everything the probes recorded so far (AUQ depth/lag, per-phase
+        span latencies, RPC histograms, LSM counters, Table 2 ops)."""
+        return self.cluster.metrics.snapshot()
+
     def warm_index_cache(self, queries: int = 200) -> None:
         """Figure 8 methodology: "read is measured with a warmed block
         cache" — touch the index (and hot base blocks) before measuring."""

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table", "format_series", "Series"]
+__all__ = ["format_table", "format_series", "render_metrics_snapshot",
+           "Series"]
 
 
 class Series:
@@ -53,3 +54,30 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
 
 def format_series(series: Series) -> str:
     return series.render()
+
+
+def render_metrics_snapshot(snapshot: Dict[str, Dict],
+                            title: str = "Metrics snapshot") -> str:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` dict as the
+    three tables (counters / gauges / histograms) embedded in bench
+    reports.  Zero-valued counters are dropped to keep reports short."""
+    sections = [title]
+    counters = [(name, value)
+                for name, value in snapshot.get("counters", {}).items()
+                if value]
+    if counters:
+        sections.append(format_table(["counter", "value"], counters))
+    gauges = [(name, f"{g['value']:.2f}", f"{g['max']:.2f}")
+              for name, g in snapshot.get("gauges", {}).items()]
+    if gauges:
+        sections.append(format_table(["gauge", "value", "max"], gauges))
+    histograms = [(name, int(h["count"]), f"{h['mean']:.3f}",
+                   f"{h['p50']:.3f}", f"{h['p95']:.3f}", f"{h['p99']:.3f}",
+                   f"{h['max']:.3f}")
+                  for name, h in snapshot.get("histograms", {}).items()
+                  if h["count"]]
+    if histograms:
+        sections.append(format_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            histograms))
+    return "\n\n".join(sections)

@@ -26,6 +26,7 @@ from repro.cluster.network import FaultPlan, Network
 from repro.cluster.region import compose_cell_key
 from repro.cluster.server import RegionServer, ServerConfig
 from repro.cluster.table import TableDescriptor, TableKind
+from repro.obs import MetricsRegistry, Tracer
 from repro.sim.kernel import Process, Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.random import SeedFactory
@@ -45,10 +46,15 @@ class MiniCluster:
         self.model = model or LatencyModel()
         self.seeds = SeedFactory(seed)
         self.hdfs = SimHDFS()
+        # Observability substrate: one registry + tracer per cluster; every
+        # probe (Table 2 counters, AUQ gauges, RPC histograms, spans) feeds
+        # these, and the bench report snapshots them.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.sim.now, registry=self.metrics)
         self.network = Network(self.sim, self.model,
                                rng=self.seeds.stream("network"),
-                               faults=fault_plan)
-        self.counters = OpCounters()
+                               faults=fault_plan, metrics=self.metrics)
+        self.counters = OpCounters(registry=self.metrics)
         self.counters_degraded = 0
         # Highest timestamp any server has handed out (see
         # RegionServer.assign_timestamp).

@@ -6,12 +6,19 @@ The paper's Table 2 accounts, per Diff-Index scheme and per action
 operations bracketed.  Servers increment these counters at the point the
 operation executes; the benchmark divides by the number of driver-level
 actions to recover the per-action costs.
+
+Since the observability subsystem landed, :class:`OpCounters` is a thin
+façade over the :class:`~repro.obs.metrics.MetricsRegistry`: each op
+kind is the registry counter ``table2_ops{op=<name>}``.  Table 2 and the
+metrics snapshot therefore read the very same cells and cannot drift.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["OpCounters", "Snapshot"]
 
@@ -37,20 +44,32 @@ class Snapshot:
         return dataclasses.asdict(self)
 
 
+_OP_NAMES = tuple(field.name for field in dataclasses.fields(Snapshot))
+
+
 class OpCounters:
     """Cluster-wide mutable counters with snapshot/diff support."""
 
-    def __init__(self) -> None:
-        self._counts = Snapshot()
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {name: self.registry.counter("table2_ops", op=name)
+                          for name in _OP_NAMES}
 
     def incr(self, name: str, n: int = 1) -> None:
-        setattr(self._counts, name, getattr(self._counts, name) + n)
+        counter = self._counters.get(name)
+        if counter is None:
+            raise ValueError(
+                f"unknown op counter {name!r}; valid counters are: "
+                f"{', '.join(_OP_NAMES)}")
+        counter.inc(n)
 
     def snapshot(self) -> Snapshot:
-        return dataclasses.replace(self._counts)
+        return Snapshot(**{name: counter.value
+                           for name, counter in self._counters.items()})
 
     def since(self, baseline: Snapshot) -> Snapshot:
-        return self._counts.minus(baseline)
+        return self.snapshot().minus(baseline)
 
     def reset(self) -> None:
-        self._counts = Snapshot()
+        for counter in self._counters.values():
+            counter.reset()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import RpcError, ServerDownError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator, Timeout
 from repro.sim.latency import LatencyModel
 from repro.sim.random import RandomStream
@@ -36,11 +37,13 @@ class FaultPlan:
 class Network:
     def __init__(self, sim: Simulator, model: LatencyModel,
                  rng: Optional[RandomStream] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.model = model
         self._rng = rng or RandomStream(1)
         self.faults = faults or FaultPlan()
+        self.metrics = metrics or MetricsRegistry()
         self.rpc_count = 0
         self.failed_rpcs = 0
 
@@ -55,8 +58,10 @@ class Network:
         lambda: server.handle_get(...))``.
         """
         self.rpc_count += 1
+        start = self.sim.now()
         if self.faults.should_fail():
             self.failed_rpcs += 1
+            self.metrics.counter("rpc_failures", server=target.name).inc()
             # The request is lost in flight: the caller still waited.
             yield Timeout(self.model.rpc_delay(self._rng))
             raise RpcError(f"rpc to {target.name} lost (injected fault)")
@@ -64,11 +69,15 @@ class Network:
         yield Timeout(self.model.rpc_delay(self._rng))
         if not target.alive:
             self.failed_rpcs += 1
+            self.metrics.counter("rpc_failures", server=target.name).inc()
             raise ServerDownError(f"server {target.name} is down")
         result = yield from handler_factory()
         if not target.alive:
             # Server died while serving: the response never leaves the node.
             self.failed_rpcs += 1
+            self.metrics.counter("rpc_failures", server=target.name).inc()
             raise ServerDownError(f"server {target.name} died mid-request")
         yield Timeout(self.model.rpc_delay(self._rng))
+        self.metrics.histogram("rpc_ms", server=target.name).observe(
+            self.sim.now() - start)
         return result

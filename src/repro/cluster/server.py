@@ -99,6 +99,20 @@ class RegionServer:
         self.staleness = cluster.staleness
         self.aps_retries = 0
 
+        # Observability probes (repro.obs): handles are resolved once here
+        # so the hot paths pay a plain attribute access, not a registry
+        # lookup.  The AUQ depth gauge and lag histogram are the live
+        # Figure 11 instrumentation.
+        metrics = cluster.metrics
+        self.tracer = cluster.tracer
+        self.obs_auq_depth = metrics.gauge("auq_depth", server=name)
+        self.obs_auq_lag = metrics.histogram("auq_lag_ms", server=name)
+        self.obs_auq_lag_last = metrics.gauge("auq_lag_last_ms", server=name)
+        self.obs_aps_retries = metrics.counter("aps_retries", server=name)
+        self.obs_degraded = metrics.counter("degraded_tasks", server=name)
+        self.obs_flush_gate_wait = metrics.histogram("flush_gate_wait_ms",
+                                                     server=name)
+
         # Monotonic per-server timestamps: System.currentTimeMillis() is
         # non-decreasing; we additionally break ties so that two writes to
         # the same row (serialised by its row lock) never share a ts,
@@ -138,6 +152,7 @@ class RegionServer:
 
     def add_region(self, region: Region) -> None:
         region.tree.cache = self.cache
+        region.tree.bind_metrics(self.cluster.metrics, server=self.name)
         self.regions[region.name] = region
 
     def remove_region(self, region_name: str) -> Optional[Region]:
@@ -226,6 +241,21 @@ class RegionServer:
     # -- base-table writes -------------------------------------------------------
 
     @staticmethod
+    def _observer_hook(hook, span, *args) -> Generator[Any, Any, None]:
+        """Invoke a coprocessor hook, handing it the put/delete root span.
+
+        Third-party observers written before the observability subsystem
+        take no ``span`` parameter; a signature mismatch surfaces at
+        generator *creation* (before any body code runs), so falling back
+        on TypeError here cannot swallow an error from the hook itself.
+        """
+        try:
+            gen = hook(*args, span=span)
+        except TypeError:
+            gen = hook(*args)
+        yield from gen
+
+    @staticmethod
     def _check_row_key(row: bytes) -> None:
         """Row keys must stay out of the reserved (leading-0x00) keyspace
         that hosts local-index entries, and must not be empty."""
@@ -247,7 +277,9 @@ class RegionServer:
         if not self.auq_gate.is_open:
             wait_start = self.sim.now()
             yield self.auq_gate.wait_open()
-            self.flush_gate_wait_ms += self.sim.now() - wait_start
+            waited = self.sim.now() - wait_start
+            self.flush_gate_wait_ms += waited
+            self.obs_flush_gate_wait.observe(waited)
         self.put_inflight.increment()
         return True
 
@@ -276,6 +308,7 @@ class RegionServer:
         descriptor = region.table
         model = self.cluster.model
         yield region.locks.acquire(row)
+        span = self.tracer.start("put", server=self.name, table=table)
         try:
             ts = self.assign_timestamp()
 
@@ -299,15 +332,21 @@ class RegionServer:
                 cells = cells + tuple(extra)
             record = self.wal.append(region.name, table, cells,
                                      indexed=descriptor.has_indexes)
+            wal_span = self.tracer.start("wal_append", parent=span,
+                                         server=self.name)
             yield from use(self.log_device, model.wal_append())
+            wal_span.end()
             region.tree.add_many(cells, seqno=record.seqno)
             yield Timeout(model.memtable_op() * len(cells))
             self.cluster.counters.incr("base_put")
 
             for observer in self.cluster.observers_for(table):
-                yield from observer.post_put(self, descriptor, row, values, ts)
+                yield from self._observer_hook(
+                    observer.post_put, span,
+                    self, descriptor, row, values, ts)
             return ts, old_values
         finally:
+            span.end()
             region.locks.release(row)
 
     def handle_delete(self, table: str, row: bytes, columns: List[str],
@@ -331,6 +370,7 @@ class RegionServer:
         descriptor = region.table
         model = self.cluster.model
         yield region.locks.acquire(row)
+        span = self.tracer.start("delete", server=self.name, table=table)
         try:
             ts = self.assign_timestamp()
             old_values: Optional[Dict[str, Tuple[bytes, int]]] = None
@@ -349,15 +389,20 @@ class RegionServer:
                 cells = cells + tuple(extra)
             record = self.wal.append(region.name, table, cells,
                                      indexed=descriptor.has_indexes)
+            wal_span = self.tracer.start("wal_append", parent=span,
+                                         server=self.name)
             yield from use(self.log_device, model.wal_append())
+            wal_span.end()
             region.tree.add_many(cells, seqno=record.seqno)
             yield Timeout(model.memtable_op() * len(cells))
             self.cluster.counters.incr("base_put")
 
             for observer in self.cluster.observers_for(table):
-                yield from observer.post_delete(self, descriptor, row, ts)
+                yield from self._observer_hook(
+                    observer.post_delete, span, self, descriptor, row, ts)
             return ts, old_values
         finally:
+            span.end()
             region.locks.release(row)
 
     # -- base-table reads -----------------------------------------------------
@@ -535,6 +580,7 @@ class RegionServer:
         entry enqueued by an admitted put is always seen."""
         yield Timeout(self.cluster.model._v(self.cluster.model.auq_enqueue_ms))
         self.auq.put(task)
+        self.obs_auq_depth.set(len(self.auq))
 
     def degrade_to_auq(self, task: IndexTask) -> None:
         """§6.2: a failed synchronous index op is queued for retry; causal
@@ -542,7 +588,9 @@ class RegionServer:
         intake gate — blocking here would deadlock the very drain that
         closed the gate (the failed op may come from an APS worker's peer)."""
         self.cluster.counters_degraded += 1
+        self.obs_degraded.inc()
         self.auq.put(task)
+        self.obs_auq_depth.set(len(self.auq))
 
     def drain_auq(self) -> Generator[Any, Any, None]:
         """Figure 5 step 1: pause intake and wait until the AUQ is empty

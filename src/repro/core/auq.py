@@ -51,11 +51,14 @@ class IndexTask:
     # §3.4, so one put may fan out into one task per scheme group).  None
     # means every index of the table — used by crash-replay re-delivery.
     index_names: Optional[Tuple[str, ...]] = None
+    # Tracing: id of the originating put's root span, so the APS apply
+    # span links back to the mutation it serves (enqueue → apply path).
+    span_id: Optional[int] = None
 
 
 def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
                      background: bool, insert_first: bool,
-                     ) -> Generator[Any, Any, None]:
+                     span: Any = None) -> Generator[Any, Any, None]:
     """Run PI / RB / DI for every index the mutation touches.
 
     ``insert_first`` selects the statement order: the synchronous path
@@ -91,13 +94,13 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
     if insert_first:
         for index, key in inserts:                                  # SU2
             yield from ctx.index_put(index.table_name, key, task.ts,
-                                     background=background)
+                                     background=background, span=span)
 
     # One base read covers every index (Table 2: sync-full pays 1 Base Read).
     columns = sorted({col for index in touched for col in index.columns})
     old_row = yield from ctx.base_read(                              # SU3/BA2
         task.table, task.row, columns, max_ts=task.ts - DELTA_MS,
-        background=background)
+        background=background, span=span)
     old_values = {col: value for col, (value, _ts) in old_row.items()}
 
     for index in touched:                                            # SU4/BA3
@@ -106,16 +109,17 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
             continue
         old_key = row_index_key(index, old_tuple, task.row)
         yield from ctx.index_delete(index.table_name, old_key,
-                                    task.ts - DELTA_MS, background=background)
+                                    task.ts - DELTA_MS,
+                                    background=background, span=span)
 
     if not insert_first:
         for index, key in inserts:                                  # BA4
             yield from ctx.index_put(index.table_name, key, task.ts,
-                                     background=background)
+                                     background=background, span=span)
 
 
 def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
-                         ) -> Generator[Any, Any, None]:
+                         span: Any = None) -> Generator[Any, Any, None]:
     """The sync-insert update path: SU1+SU2 only, skipping SU3/SU4 (§4.2).
 
     Stale entries are left behind on purpose; the read path repairs them
@@ -136,11 +140,11 @@ def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
             continue
         key = row_index_key(index, new_tuple, task.row)
         yield from ctx.index_put(index.table_name, key, task.ts,
-                                 background=False)
+                                 background=False, span=span)
 
 
 def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
-                   ) -> Generator[Any, Any, list]:
+                   span: Any = None) -> Generator[Any, Any, list]:
     """BA2 for one task: read the old row, return the DI/PI op list as
     ``("del"|"put", index_table, key, ts)`` tuples (deletes first —
     Algorithm 4's BA3 before BA4)."""
@@ -160,7 +164,7 @@ def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
     columns = sorted({col for index in touched for col in index.columns})
     old_row = yield from ctx.base_read(
         task.table, task.row, columns, max_ts=task.ts - DELTA_MS,
-        background=True)
+        background=True, span=span)
     old_values = {col: value for col, (value, _ts) in old_row.items()}
 
     ops = []
@@ -196,6 +200,7 @@ def aps_worker(server: Any, worker_id: int) -> Generator[Any, Any, None]:
     ctx = server.op_context
     while server.alive:
         task: Optional[IndexTask] = yield server.auq.get()
+        server.obs_auq_depth.set(len(server.auq))
         if task is None or not server.alive:   # woken during shutdown
             return
         # Count the task as in-flight from the moment it leaves the queue
@@ -214,6 +219,7 @@ def aps_worker(server: Any, worker_id: int) -> Generator[Any, Any, None]:
                     break
                 batch.append(extra)
                 server.auq_inflight.increment()
+            server.obs_auq_depth.set(len(server.auq))
             yield from _process_batch(server, ctx, batch)
         finally:
             for _ in batch:
@@ -222,9 +228,16 @@ def aps_worker(server: Any, worker_id: int) -> Generator[Any, Any, None]:
 
 def _process_batch(server: Any, ctx: "IndexOpContext",
                    batch: list) -> Generator[Any, Any, None]:
+    # One "aps_apply" span per task, parented to the originating put's
+    # root span: the async half of the mutation's trace tree.
+    tracer = server.cluster.tracer
     all_ops = []
+    spans = []
     for task in batch:
-        ops = yield from plan_index_ops(ctx, task)
+        span = tracer.start("aps_apply", parent=task.span_id,
+                            server=server.name, table=task.table)
+        spans.append(span)
+        ops = yield from plan_index_ops(ctx, task, span=span)
         all_ops.extend(ops)
 
     # Group by target server, preserving op order within a group.
@@ -245,6 +258,7 @@ def _process_batch(server: Any, ctx: "IndexOpContext",
                 break
             except RpcError:
                 server.aps_retries += 1
+                server.obs_aps_retries.inc()
                 yield Timeout(backoff)
                 backoff = min(backoff * 2, APS_RETRY_BACKOFF_CAP_MS)
                 if not server.alive:
@@ -256,5 +270,13 @@ def _process_batch(server: Any, ctx: "IndexOpContext",
                 except Exception:  # noqa: BLE001
                     target = None
     now = server.sim.now()
-    for task in batch:
+    for task, span in zip(batch, spans):
         server.staleness.record(task.ts, now)
+        # Live Figure 11: the lag between the base entry's visibility (T1,
+        # the base timestamp) and the moment its index maintenance landed
+        # (T2, now) — same definition the StalenessTracker records, so the
+        # two instrumentations can be cross-checked exactly.
+        lag = max(0.0, now - task.ts)
+        server.obs_auq_lag.observe(lag)
+        server.obs_auq_lag_last.set(lag)
+        span.end()

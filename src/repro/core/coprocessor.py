@@ -26,16 +26,24 @@ __all__ = ["RegionObserver", "IndexOpContext"]
 
 
 class RegionObserver:
-    """Base class; hooks are generator coroutines so they may do I/O."""
+    """Base class; hooks are generator coroutines so they may do I/O.
+
+    ``span`` is the root tracing span of the enclosing put/delete RPC
+    (see :mod:`repro.obs.tracing`); hooks parent their own spans to it so
+    a mutation's full PI/RB/DI (or enqueue → APS-apply) story is one
+    trace tree.  Observers written without the parameter still work —
+    the server falls back to the span-less call form.
+    """
 
     def post_put(self, server: "RegionServer", table: TableDescriptor,
                  row: bytes, values: Dict[str, bytes], ts: int,
-                 ) -> Generator[Any, Any, None]:
+                 span: Any = None) -> Generator[Any, Any, None]:
         return
         yield  # pragma: no cover
 
     def post_delete(self, server: "RegionServer", table: TableDescriptor,
-                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+                    row: bytes, ts: int, span: Any = None,
+                    ) -> Generator[Any, Any, None]:
         return
         yield  # pragma: no cover
 
@@ -56,26 +64,37 @@ class IndexOpContext:
     def table_descriptor(self, table: str) -> TableDescriptor:
         return self.server.cluster.descriptor(table)
 
+    def _span(self, name: str, parent: Any):
+        """Child tracing span for one index-maintenance primitive — the
+        paper's PI / RB / DI steps, timed individually."""
+        return self.server.cluster.tracer.start(name, parent=parent,
+                                                server=self.server.name)
+
     # -- primitive operations ----------------------------------------------------
 
     def base_read(self, table: str, row: bytes, columns: List[str],
-                  max_ts: Optional[int], background: bool,
+                  max_ts: Optional[int], background: bool, span: Any = None,
                   ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
         """RB: versioned read of the base row.  The base region normally
         lives on this very server (the put was routed here), so this is a
         local LSM read; after a region move it falls back to an RPC."""
-        region = self.server.region_for(table, row)
-        if region is not None:
-            result = yield from self.server.local_read_row(
-                region, row, columns, max_ts, background=background)
+        obs = self._span("RB", span)
+        try:
+            region = self.server.region_for(table, row)
+            if region is not None:
+                result = yield from self.server.local_read_row(
+                    region, row, columns, max_ts, background=background)
+                return result
+            target_server, _region_name = self.server.cluster.locate(table,
+                                                                     row)
+            network = self.server.cluster.network
+            result = yield from network.call(
+                target_server,
+                lambda: target_server.handle_get(table, row, columns, max_ts,
+                                                 background=background))
             return result
-        target_server, _region_name = self.server.cluster.locate(table, row)
-        network = self.server.cluster.network
-        result = yield from network.call(
-            target_server,
-            lambda: target_server.handle_get(table, row, columns, max_ts,
-                                             background=background))
-        return result
+        finally:
+            obs.end()
 
     def _index_target(self, index_table: str, key: bytes):
         try:
@@ -86,17 +105,22 @@ class IndexOpContext:
             raise RpcError(f"no region for {index_table!r} (recovering)")
 
     def index_put(self, index_table: str, key: bytes, ts: int,
-                  background: bool) -> Generator[Any, Any, None]:
+                  background: bool, span: Any = None,
+                  ) -> Generator[Any, Any, None]:
         """PI: insert one key-only index entry, carrying the base ts."""
-        target_server, _ = self._index_target(index_table, key)
-        if target_server is self.server:
-            yield from self.server.handle_index_put(index_table, key, ts,
-                                                    background=background)
-            return
-        yield from self.server.cluster.network.call(
-            target_server,
-            lambda: target_server.handle_index_put(index_table, key, ts,
-                                                   background=background))
+        obs = self._span("PI", span)
+        try:
+            target_server, _ = self._index_target(index_table, key)
+            if target_server is self.server:
+                yield from self.server.handle_index_put(
+                    index_table, key, ts, background=background)
+                return
+            yield from self.server.cluster.network.call(
+                target_server,
+                lambda: target_server.handle_index_put(index_table, key, ts,
+                                                       background=background))
+        finally:
+            obs.end()
 
     def index_ops_batch(self, target: Any, ops: list,
                         ) -> Generator[Any, Any, None]:
@@ -113,14 +137,19 @@ class IndexOpContext:
             target, lambda: target.handle_index_ops(ops, background=True))
 
     def index_delete(self, index_table: str, key: bytes, ts: int,
-                     background: bool) -> Generator[Any, Any, None]:
+                     background: bool, span: Any = None,
+                     ) -> Generator[Any, Any, None]:
         """DI: tombstone one index entry at ``ts`` (= base ``t_new − δ``)."""
-        target_server, _ = self._index_target(index_table, key)
-        if target_server is self.server:
-            yield from self.server.handle_index_delete(index_table, key, ts,
-                                                       background=background)
-            return
-        yield from self.server.cluster.network.call(
-            target_server,
-            lambda: target_server.handle_index_delete(index_table, key, ts,
-                                                      background=background))
+        obs = self._span("DI", span)
+        try:
+            target_server, _ = self._index_target(index_table, key)
+            if target_server is self.server:
+                yield from self.server.handle_index_delete(
+                    index_table, key, ts, background=background)
+                return
+            yield from self.server.cluster.network.call(
+                target_server,
+                lambda: target_server.handle_index_delete(
+                    index_table, key, ts, background=background))
+        finally:
+            obs.end()

@@ -41,37 +41,48 @@ def _owned_indexes(table: TableDescriptor,
                  if index.scheme in schemes and not index.is_local)
 
 
+def _span_id(span: Any) -> Any:
+    return getattr(span, "span_id", None)
+
+
 class SyncFullObserver(RegionObserver):
     SCHEMES = frozenset({IndexScheme.SYNC_FULL})
 
     def _task(self, server: "RegionServer", table: TableDescriptor,
-              row: bytes, values, ts: int) -> IndexTask:
+              row: bytes, values, ts: int, span: Any) -> IndexTask:
         return IndexTask(table.name, row, values, ts,
                          enqueued_at=server.sim.now(),
-                         index_names=_owned_indexes(table, self.SCHEMES))
+                         index_names=_owned_indexes(table, self.SCHEMES),
+                         span_id=_span_id(span))
+
+    def _maintain(self, server: "RegionServer", task: IndexTask,
+                  span: Any) -> Generator[Any, Any, None]:
+        obs = server.tracer.start("sync_index", parent=span, scheme="full",
+                                  server=server.name)
+        try:
+            yield from maintain_indexes(server.op_context, task,
+                                        background=False, insert_first=True,
+                                        span=obs)
+        except RpcError:
+            server.degrade_to_auq(task)
+        finally:
+            obs.end()
 
     def post_put(self, server: "RegionServer", table: TableDescriptor,
                  row: bytes, values: Dict[str, bytes], ts: int,
-                 ) -> Generator[Any, Any, None]:
-        task = self._task(server, table, row, values, ts)
+                 span: Any = None) -> Generator[Any, Any, None]:
+        task = self._task(server, table, row, values, ts, span)
         if not task.index_names:
             return
-        try:
-            yield from maintain_indexes(server.op_context, task,
-                                        background=False, insert_first=True)
-        except RpcError:
-            server.degrade_to_auq(task)
+        yield from self._maintain(server, task, span)
 
     def post_delete(self, server: "RegionServer", table: TableDescriptor,
-                    row: bytes, ts: int) -> Generator[Any, Any, None]:
-        task = self._task(server, table, row, None, ts)
+                    row: bytes, ts: int, span: Any = None,
+                    ) -> Generator[Any, Any, None]:
+        task = self._task(server, table, row, None, ts, span)
         if not task.index_names:
             return
-        try:
-            yield from maintain_indexes(server.op_context, task,
-                                        background=False, insert_first=True)
-        except RpcError:
-            server.degrade_to_auq(task)
+        yield from self._maintain(server, task, span)
 
 
 class SyncInsertObserver(RegionObserver):
@@ -79,19 +90,25 @@ class SyncInsertObserver(RegionObserver):
 
     def post_put(self, server: "RegionServer", table: TableDescriptor,
                  row: bytes, values: Dict[str, bytes], ts: int,
-                 ) -> Generator[Any, Any, None]:
+                 span: Any = None) -> Generator[Any, Any, None]:
         task = IndexTask(table.name, row, values, ts,
                          enqueued_at=server.sim.now(),
-                         index_names=_owned_indexes(table, self.SCHEMES))
+                         index_names=_owned_indexes(table, self.SCHEMES),
+                         span_id=_span_id(span))
         if not task.index_names:
             return
+        obs = server.tracer.start("sync_index", parent=span, scheme="insert",
+                                  server=server.name)
         try:
-            yield from maintain_insert_only(server.op_context, task)
+            yield from maintain_insert_only(server.op_context, task, span=obs)
         except RpcError:
             server.degrade_to_auq(task)
+        finally:
+            obs.end()
 
     def post_delete(self, server: "RegionServer", table: TableDescriptor,
-                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+                    row: bytes, ts: int, span: Any = None,
+                    ) -> Generator[Any, Any, None]:
         # Nothing to insert; the tombstoned row makes existing entries
         # stale, and reads repair them (Algorithm 2).
         return
@@ -101,24 +118,33 @@ class SyncInsertObserver(RegionObserver):
 class AsyncObserver(RegionObserver):
     SCHEMES = frozenset({IndexScheme.ASYNC_SIMPLE, IndexScheme.ASYNC_SESSION})
 
+    def _enqueue(self, server: "RegionServer", task: IndexTask,
+                 span: Any) -> Generator[Any, Any, None]:
+        obs = server.tracer.start("enqueue", parent=span, server=server.name)
+        try:
+            yield from server.enqueue_index_task(task)
+        finally:
+            obs.end()
+
     def post_put(self, server: "RegionServer", table: TableDescriptor,
                  row: bytes, values: Dict[str, bytes], ts: int,
-                 ) -> Generator[Any, Any, None]:
+                 span: Any = None) -> Generator[Any, Any, None]:
         names = _owned_indexes(table, self.SCHEMES)
         if not names:
             return
-        yield from server.enqueue_index_task(
-            IndexTask(table.name, row, values, ts,
-                      enqueued_at=server.sim.now(), index_names=names))
+        yield from self._enqueue(server, IndexTask(
+            table.name, row, values, ts, enqueued_at=server.sim.now(),
+            index_names=names, span_id=_span_id(span)), span)
 
     def post_delete(self, server: "RegionServer", table: TableDescriptor,
-                    row: bytes, ts: int) -> Generator[Any, Any, None]:
+                    row: bytes, ts: int, span: Any = None,
+                    ) -> Generator[Any, Any, None]:
         names = _owned_indexes(table, self.SCHEMES)
         if not names:
             return
-        yield from server.enqueue_index_task(
-            IndexTask(table.name, row, None, ts,
-                      enqueued_at=server.sim.now(), index_names=names))
+        yield from self._enqueue(server, IndexTask(
+            table.name, row, None, ts, enqueued_at=server.sim.now(),
+            index_names=names, span_id=_span_id(span)), span)
 
 
 def build_observers(table: TableDescriptor) -> Tuple[RegionObserver, ...]:

@@ -162,8 +162,12 @@ def _double_check(client: "Client", index: IndexDescriptor,
     """Algorithm 2, SR2: for every candidate, read the base row; keep the
     entry if the base value still matches, otherwise delete it from the
     index table (lazy repair)."""
+    metrics = client.cluster.metrics
+    checks = metrics.counter("read_repair_checks", index=index.name)
+    repairs = metrics.counter("read_repair_repairs", index=index.name)
     confirmed: List[IndexHit] = []
     for hit in hits:
+        checks.inc()
         row_data = yield from client.get(index.base_table, hit.rowkey,
                                          columns=list(index.columns))
         current = {col: value for col, (value, _ts) in row_data.items()}
@@ -172,6 +176,7 @@ def _double_check(client: "Client", index: IndexDescriptor,
             confirmed.append(hit)
         else:
             # Stale: DI(v_index ⊕ k, ts) — delete that exact entry version.
+            repairs.inc()
             yield from client.delete_index_entry(index.table_name,
                                                  hit.index_key, hit.ts)
     return confirmed

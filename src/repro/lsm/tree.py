@@ -81,17 +81,42 @@ class LSMTree:
         self._sstables: List[SSTable] = []   # newest first
         self._compactions_done = 0
         self.last_applied_seqno = 0
+        # Optional observability hooks (see bind_metrics): the engine stays
+        # simulator-free, but a hosting region server can point these at
+        # its cluster registry.
+        self._obs_memtable_cells = None
+        self._obs_flushes = None
+        self._obs_flush_cells = None
+        self._obs_compactions = None
+        self._obs_compaction_cells = None
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Attach this tree's memtable/flush/compaction counters to a
+        :class:`repro.obs.metrics.MetricsRegistry` (labelled, typically,
+        by hosting server).  Safe to call again on region reassignment —
+        same name+labels resolve to the same counters."""
+        self._obs_memtable_cells = registry.counter("lsm_memtable_cells",
+                                                    **labels)
+        self._obs_flushes = registry.counter("lsm_flushes", **labels)
+        self._obs_flush_cells = registry.counter("lsm_flush_cells", **labels)
+        self._obs_compactions = registry.counter("lsm_compactions", **labels)
+        self._obs_compaction_cells = registry.counter(
+            "lsm_compaction_cells_read", **labels)
 
     # ------------------------------------------------------------------ write
 
     def add(self, cell: Cell, seqno: int = 0) -> None:
         self._memtable.add(cell)
+        if self._obs_memtable_cells is not None:
+            self._obs_memtable_cells.inc()
         if seqno > self.last_applied_seqno:
             self.last_applied_seqno = seqno
 
     def add_many(self, cells: Tuple[Cell, ...], seqno: int = 0) -> None:
         for cell in cells:
             self._memtable.add(cell)
+        if self._obs_memtable_cells is not None:
+            self._obs_memtable_cells.inc(len(cells))
         if seqno > self.last_applied_seqno:
             self.last_applied_seqno = seqno
 
@@ -130,6 +155,9 @@ class LSMTree:
         sstable = builder.finish()
         self._sstables.insert(0, sstable)
         self._flushing.remove(handle)
+        if self._obs_flushes is not None:
+            self._obs_flushes.inc()
+            self._obs_flush_cells.inc(len(handle.memtable))
         return sstable
 
     def adopt_sstables(self, sstables) -> None:
@@ -170,6 +198,9 @@ class LSMTree:
             for table in chosen:
                 self.cache.invalidate_sstable(table.sstable_id)
         self._compactions_done += 1
+        if self._obs_compactions is not None:
+            self._obs_compactions.inc()
+            self._obs_compaction_cells.inc(result.cells_read)
         return result
 
     # ------------------------------------------------------------------- read

@@ -1,0 +1,34 @@
+"""Unified observability: metrics registry, span tracing, live probes.
+
+The paper's evaluation is built on quantities that must be *measured
+while the system runs*: per-scheme update/read latency breakdowns
+(Figures 7–8), AUQ depth and asynchronous staleness (Figure 11), and
+per-operation I/O costs (Table 2).  This package provides the telemetry
+substrate those probes feed:
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms (with percentile queries), labelled by server/scheme/table,
+  cheap enough to stay enabled in benchmarks;
+* :class:`Tracer` / :class:`Span` — lightweight sim-clock spans that
+  follow one mutation through base put → PI → RB → DI (sync path) or
+  enqueue → APS apply (async path), with parent/child links and a JSONL
+  exporter;
+* probes wired into the cluster layers (see ``repro.cluster.server``,
+  ``repro.core.auq``, ``repro.cluster.network``): AUQ depth and
+  enqueue-to-apply lag (Figure 11 staleness, live), LSM flush/compaction
+  counters, RPC latency histograms, read-repair counters.
+
+Everything here reads time only through an injected clock (the sim
+kernel's ``now``), so two identically seeded runs produce bit-identical
+metric snapshots and trace exports.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               DEFAULT_LATENCY_BUCKETS_MS)
+from repro.obs.tracing import Span, Tracer, NULL_SPAN
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Tracer", "Span", "NULL_SPAN",
+]

@@ -85,6 +85,9 @@ class DriverResult:
     recorder: LatencyRecorder
     issued: int
     failed: int
+    # A cluster-wide metrics snapshot (repro.obs) taken at the end of the
+    # run: AUQ depth/lag, per-phase span latencies, RPC histograms, ...
+    metrics: Optional[dict] = None
 
     def stats(self, op: str):
         return self.recorder.stats(op)
@@ -168,7 +171,8 @@ class ClosedLoopDriver(_DriverBase):
                    for i in range(self.num_threads)]
         sim.run_until_complete(all_of(sim, threads))
         self.recorder.end_window(min(sim.now(), end))
-        return DriverResult(self.recorder, self.issued, self.failed)
+        return DriverResult(self.recorder, self.issued, self.failed,
+                            metrics=self.cluster.metrics.snapshot())
 
 
 class OpenLoopDriver(_DriverBase):
@@ -214,4 +218,5 @@ class OpenLoopDriver(_DriverBase):
         if pending:
             sim.run_until_complete(all_of(sim, pending))
         self.recorder.end_window(end)
-        return DriverResult(self.recorder, self.issued, self.failed)
+        return DriverResult(self.recorder, self.issued, self.failed,
+                            metrics=self.cluster.metrics.snapshot())
