@@ -101,6 +101,13 @@ def _run_drain_ablation() -> str:
                         rows, title="Ablation — drain-AUQ-before-flush")
 
 
+def _run_perf() -> str:
+    """Wall-clock perf baseline (see :mod:`repro.bench.perf`); honours
+    REPRO_BENCH_QUICK / REPRO_BENCH_JSON and writes BENCH_pr2.json."""
+    from repro.bench.perf import render_perf_report, run_perf_baseline
+    return render_perf_report(run_perf_baseline())
+
+
 RUNNERS: Dict[str, Callable[[], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -112,6 +119,7 @@ RUNNERS: Dict[str, Callable[[], str]] = {
     "index-vs-scan": _run_index_vs_scan,
     "drain-ablation": _run_drain_ablation,
     "metrics": _run_metrics,
+    "perf": _run_perf,
 }
 
 

@@ -1,0 +1,181 @@
+"""Wall-clock perf baseline: ``python -m repro.bench perf``.
+
+The other experiments report *simulated* milliseconds — the reproduction
+target.  This one also reports how fast the simulator itself chews
+through operations (real ops/sec on the host), so perf regressions in
+the hot paths (scatter-gather fan-out, LSM reads, the bloom/version
+resolution inner loops) show up as a number diffable across PRs.
+
+Emits ``BENCH_pr2.json`` with, per scheme:
+
+* wall-clock ops/sec for a mixed update/index-read closed loop;
+* the *simulated* mean/p95 of the same run (so a wall-clock win that
+  silently changed simulated behaviour is caught immediately);
+* scatter-gather probe summaries (fan-out widths and gather latencies
+  per call-site) harvested from the metrics registry;
+
+plus two read-latency sections: the Figure 8 exact-match shape (K=1 —
+one index hit per query, where parallelism cannot help much) and a
+multi-match variant (K≈5 hits per query, where the sync-insert
+double-check actually overlaps its K base reads).
+
+Environment:
+
+* ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
+* ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
+  ``BENCH_pr2.json`` in the working directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.harness import Experiment, ExperimentConfig
+from repro.ycsb.workload import OpType
+
+__all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
+           "QUICK_ENV", "DEFAULT_OUTPUT"]
+
+OUTPUT_ENV = "REPRO_BENCH_JSON"
+QUICK_ENV = "REPRO_BENCH_QUICK"
+DEFAULT_OUTPUT = "BENCH_pr2.json"
+
+# Wall-clock measurements exclude cluster setup/warmup on purpose: load
+# and warm phases are small and amortized differently at each scale.
+_SCHEMES = ("insert", "full", "async")
+
+
+def _is_quick() -> bool:
+    return os.environ.get(QUICK_ENV, "") not in ("", "0")
+
+
+def scatter_summary(metrics) -> Dict[str, Dict[str, float]]:
+    """Per-site view of the scatter probes: how wide the fan-outs were and
+    how long the gathers took (simulated ms)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for hist in metrics.find("scatter_fanout"):
+        site = dict(hist.labels).get("site", "?")
+        entry = out.setdefault(site, {})
+        entry["calls"] = hist.count
+        entry["mean_fanout"] = round(hist.mean(), 3)
+        entry["max_fanout"] = hist.max
+    for hist in metrics.find("scatter_gather_ms"):
+        site = dict(hist.labels).get("site", "?")
+        entry = out.setdefault(site, {})
+        entry["gather_mean_ms"] = round(hist.mean(), 3)
+        entry["gather_p95_ms"] = round(hist.percentile(95), 3)
+    return out
+
+
+def _mixed_run(label: str, threads: int, duration_ms: float,
+               record_count: int) -> Dict[str, object]:
+    """One closed-loop mixed workload, timed on the host clock."""
+    exp = Experiment(ExperimentConfig(record_count=record_count,
+                                      title_cardinality=record_count // 5,
+                                      scheme_label=label))
+    start = time.perf_counter()
+    result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
+                            num_threads=threads, duration_ms=duration_ms,
+                            warmup_ms=duration_ms / 5)
+    wall_s = time.perf_counter() - start
+    overall = result.overall()
+    return {
+        "threads": threads,
+        "ops": overall.count,
+        "wall_seconds": round(wall_s, 3),
+        "wall_ops_per_sec": round(overall.count / wall_s, 1) if wall_s else 0,
+        "sim_mean_ms": round(overall.mean_ms, 3),
+        "sim_p95_ms": round(overall.p95_ms, 3),
+        "sim_throughput_tps": round(overall.throughput_tps, 1),
+        "scatter": scatter_summary(exp.cluster.metrics),
+    }
+
+
+def _read_latency_section(threads: int, duration_ms: float,
+                          record_count: int,
+                          title_cardinality: int) -> Dict[str, object]:
+    """Read-only index workload per scheme at one thread count; the K≈5
+    variant (title_cardinality = record_count/5) is where the parallel
+    double-check earns its keep."""
+    from repro.bench.experiments import _mutate_fraction
+    section: Dict[str, object] = {}
+    for label in _SCHEMES:
+        exp = Experiment(ExperimentConfig(
+            record_count=record_count,
+            title_cardinality=title_cardinality,
+            scheme_label=label))
+        _mutate_fraction(exp, 0.2 if label in ("insert", "async") else 0.0)
+        exp.warm_index_cache(queries=100)
+        result = exp.run_closed({OpType.INDEX_READ: 1.0},
+                                num_threads=threads,
+                                duration_ms=duration_ms,
+                                warmup_ms=duration_ms / 5)
+        stats = result.stats(OpType.INDEX_READ)
+        section[label] = {
+            "sim_mean_ms": round(stats.mean_ms, 3),
+            "sim_p95_ms": round(stats.p95_ms, 3),
+            "sim_throughput_tps": round(stats.throughput_tps, 1),
+            "scatter": scatter_summary(exp.cluster.metrics),
+        }
+    return section
+
+
+def run_perf_baseline(quick: Optional[bool] = None,
+                      out_path: Optional[str] = None) -> Dict[str, object]:
+    """Run the whole baseline and write the JSON report; returns it too."""
+    if quick is None:
+        quick = _is_quick()
+    if out_path is None:
+        out_path = os.environ.get(OUTPUT_ENV, DEFAULT_OUTPUT)
+
+    threads: List[int] = [2, 8] if quick else [2, 8, 32]
+    duration_ms = 800.0 if quick else 1500.0
+    record_count = 1500 if quick else 2000
+
+    report: Dict[str, object] = {
+        "bench": "pr2-scatter-gather-perf-baseline",
+        "quick": quick,
+        "config": {"threads": threads, "duration_ms": duration_ms,
+                   "record_count": record_count},
+        "mixed_workload": {},
+    }
+    for label in _SCHEMES:
+        report["mixed_workload"][label] = [
+            _mixed_run(label, n, duration_ms, record_count) for n in threads]
+
+    probe = threads[-1]
+    report["read_latency_exact_match_k1"] = _read_latency_section(
+        probe, duration_ms, record_count, title_cardinality=0)
+    report["read_latency_multi_match_k5"] = _read_latency_section(
+        probe, duration_ms, record_count,
+        title_cardinality=record_count // 5)
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    report["output_path"] = out_path
+    return report
+
+
+def render_perf_report(report: Dict[str, object]) -> str:
+    lines = [f"perf baseline ({'quick' if report['quick'] else 'full'}) -> "
+             f"{report.get('output_path', DEFAULT_OUTPUT)}"]
+    for label, runs in sorted(report["mixed_workload"].items()):
+        for run in runs:
+            lines.append(
+                f"  {label:>7} x{run['threads']:<3} "
+                f"{run['wall_ops_per_sec']:>9} wall-ops/s  "
+                f"sim mean {run['sim_mean_ms']:.2f} ms "
+                f"p95 {run['sim_p95_ms']:.2f} ms")
+    for section in ("read_latency_exact_match_k1",
+                    "read_latency_multi_match_k5"):
+        lines.append(f"  {section}:")
+        for label, stats in sorted(report[section].items()):
+            lines.append(
+                f"    {label:>7} sim mean {stats['sim_mean_ms']:.2f} ms "
+                f"p95 {stats['sim_p95_ms']:.2f} ms "
+                f"({stats['sim_throughput_tps']:.0f} tps)")
+    return "\n".join(lines)

@@ -16,7 +16,7 @@ from typing import (Any, Dict, Generator, List, Optional, Sequence, Tuple,
                     TYPE_CHECKING)
 
 from repro.errors import (NoSuchIndexError, NoSuchRegionError,
-                          NoSuchTableError, ServerDownError)
+                          NoSuchTableError, ServerDownError, SimulationError)
 from repro.core import reader as reader_mod
 from repro.core.encoding import IndexableValue
 from repro.core.index import IndexDescriptor
@@ -25,6 +25,7 @@ from repro.core.schemes import IndexScheme
 from repro.core.session import Session
 from repro.lsm.types import Cell, KeyRange
 from repro.sim.kernel import Timeout
+from repro.sim.scatter import scatter_gather
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import MiniCluster
@@ -35,11 +36,20 @@ __all__ = ["Client"]
 
 class Client:
     def __init__(self, cluster: "MiniCluster", name: str = "client",
-                 max_route_retries: int = 60, retry_backoff_ms: float = 50.0):
+                 max_route_retries: int = 60, retry_backoff_ms: float = 50.0,
+                 max_fanout: int = 16):
         self.cluster = cluster
         self.name = name
         self.max_route_retries = max_route_retries
         self.retry_backoff_ms = retry_backoff_ms
+        # Bound on concurrent outbound RPCs for scatter paths (multi-region
+        # scans, multigets, read-repair deletes) — the client-side analogue
+        # of an HBase connection pool size.
+        self.max_fanout = max_fanout
+        # Escape hatch for apples-to-apples tests: False restores the
+        # sequential one-RPC-per-row double-check (same counters & final
+        # state, K round trips instead of ~1).
+        self.parallel_double_check = True
         self._layout = cluster.master.snapshot_layout()
         self._sessions: Dict[str, Session] = {}
         self.route_refreshes = 0
@@ -154,6 +164,59 @@ class Client:
             result = session.merge_base_row(table, row, result)
         return result
 
+    def multi_get(self, table: str, rows: Sequence[bytes],
+                  columns: Optional[List[str]] = None,
+                  max_ts: Optional[int] = None,
+                  session: Optional[Session] = None,
+                  ) -> Generator[Any, Any, Dict[bytes, Dict[str, Tuple[bytes, int]]]]:
+        """Parallel multiget: group ``rows`` by hosting server, issue one
+        RPC per server (scatter), merge the per-server answers.
+
+        K rows land in ~1 round trip instead of K; each listed row is
+        still charged/counted as one base read server-side, so op counts
+        are identical to K single gets.  Duplicate rows are deliberately
+        NOT deduplicated for that same reason.
+        """
+        rows = list(rows)
+        if not rows:
+            return {}
+        attempts = 0
+        while True:
+            try:
+                groups: Dict[str, List[bytes]] = {}
+                for row in rows:
+                    info = self._locate(table, row)
+                    groups.setdefault(info.server_name, []).append(row)
+
+                def one_server(server_name: str):
+                    server = self.cluster.servers[server_name]
+                    batch = groups[server_name]
+                    result = yield from self.cluster.network.call(
+                        server, lambda: server.handle_multi_get(
+                            table, batch, columns, max_ts))
+                    return result
+
+                per_server = yield scatter_gather(
+                    self.cluster.sim,
+                    [lambda n=name: one_server(n) for name in sorted(groups)],
+                    max_fanout=self.max_fanout, name="multiget",
+                    metrics=self.cluster.metrics, site="multiget")
+                merged: Dict[bytes, Dict[str, Tuple[bytes, int]]] = {}
+                for part in per_server:
+                    merged.update(part)
+                break
+            except (ServerDownError, NoSuchRegionError):
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+        if session is not None and not session.disabled:
+            session.touch(self.cluster.sim.now())
+            merged = {row: session.merge_base_row(table, row, data)
+                      for row, data in merged.items()}
+        return merged
+
     # -- scans ------------------------------------------------------------------
 
     def scan_table(self, table: str, key_range: KeyRange,
@@ -180,23 +243,46 @@ class Client:
 
     def _scan_attempt(self, table, infos, key_range, limit, is_index,
                       ) -> Generator[Any, Any, List[Cell]]:
-        out: List[Cell] = []
-        for info in sorted(infos, key=lambda i: i.key_range.start):
-            if not info.key_range.overlaps(key_range):
-                continue
+        """Scatter the scan across every overlapping region in parallel.
+
+        ``limit`` semantics: each region over-fetches up to the FULL limit
+        (a later region cannot know how much earlier regions will return
+        when they run concurrently), then the merge trims in key order.
+        Regions are disjoint and spawned sorted by start key, so simple
+        concatenation IS key order — asserted below, because the trim is
+        only correct under that invariant.
+        """
+        overlapping = [info for info in
+                       sorted(infos, key=lambda i: i.key_range.start)
+                       if info.key_range.overlaps(key_range)]
+        if not overlapping:
+            return []
+
+        def one_region(info):
             server = self.cluster.servers[info.server_name]
             clamped = key_range.clamp(info.key_range)
-            remaining = None if limit is None else limit - len(out)
-            if remaining is not None and remaining <= 0:
-                break
             if is_index:
                 cells = yield from self.cluster.network.call(
-                    server, lambda s=server, c=clamped, r=remaining:
-                    s.handle_index_scan(table, c, r))
+                    server, lambda: server.handle_index_scan(table, clamped,
+                                                             limit))
             else:
                 cells = yield from self.cluster.network.call(
-                    server, lambda s=server, c=clamped, r=remaining:
-                    s.handle_scan(table, c, r))
+                    server, lambda: server.handle_scan(table, clamped, limit))
+            return cells
+
+        per_region = yield scatter_gather(
+            self.cluster.sim,
+            [lambda i=info: one_region(i) for info in overlapping],
+            max_fanout=self.max_fanout, name="scan",
+            metrics=self.cluster.metrics,
+            site="scan_index" if is_index else "scan_base")
+
+        out: List[Cell] = []
+        for cells in per_region:
+            if out and cells and cells[0].key < out[-1].key:
+                raise SimulationError(
+                    f"scan of {table!r}: merged region results out of key "
+                    f"order ({cells[0].key!r} after {out[-1].key!r})")
             out.extend(cells)
         if limit is not None:
             out = out[:limit]
@@ -230,10 +316,13 @@ class Client:
         hits = yield from self.get_by_index(index_name, equals=equals,
                                             low=low, high=high, limit=limit,
                                             session=session)
+        if not hits:
+            return []
+        row_map = yield from self.multi_get(
+            index.base_table, [hit.rowkey for hit in hits], session=session)
         rows = []
         for hit in hits:
-            row_data = yield from self.get(index.base_table, hit.rowkey,
-                                           session=session)
+            row_data = row_map.get(hit.rowkey, {})
             if row_data:
                 rows.append((hit.rowkey, row_data))
         return rows

@@ -14,7 +14,6 @@ the synchronous observers and the APS so the two paths cannot drift.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import RpcError
@@ -22,6 +21,7 @@ from repro.core.index import extract_index_values, row_index_key
 from repro.core.schemes import IndexScheme
 from repro.lsm.types import DELTA_MS
 from repro.sim.kernel import Timeout
+from repro.sim.scatter import scatter_gather
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coprocessor import IndexOpContext
@@ -33,27 +33,63 @@ APS_RETRY_BACKOFF_MS = 5.0
 APS_RETRY_BACKOFF_CAP_MS = 80.0
 
 
-@dataclasses.dataclass
 class IndexTask:
     """One base mutation awaiting (re-)execution of its index maintenance.
 
     ``new_values is None`` encodes a row delete: in LSM "deletion can be
     treated as a put with a null value and a timestamp" (§4.3), so the
     task only removes old entries.
+
+    A ``__slots__`` class (not a dataclass): one of these is allocated per
+    indexed mutation, which makes it one of the hottest small objects in
+    the wall-clock profile.
     """
 
-    table: str
-    row: bytes
-    new_values: Optional[Dict[str, bytes]]
-    ts: int                       # the base entry's timestamp (the paper's T1)
-    enqueued_at: float = 0.0
-    # Restrict maintenance to these indexes (schemes are chosen per index,
-    # §3.4, so one put may fan out into one task per scheme group).  None
-    # means every index of the table — used by crash-replay re-delivery.
-    index_names: Optional[Tuple[str, ...]] = None
-    # Tracing: id of the originating put's root span, so the APS apply
-    # span links back to the mutation it serves (enqueue → apply path).
-    span_id: Optional[int] = None
+    __slots__ = ("table", "row", "new_values", "ts", "enqueued_at",
+                 "index_names", "span_id")
+
+    def __init__(self, table: str, row: bytes,
+                 new_values: Optional[Dict[str, bytes]], ts: int,
+                 enqueued_at: float = 0.0,
+                 index_names: Optional[Tuple[str, ...]] = None,
+                 span_id: Optional[int] = None):
+        self.table = table
+        self.row = row
+        self.new_values = new_values
+        self.ts = ts                 # the base entry's timestamp (paper's T1)
+        self.enqueued_at = enqueued_at
+        # Restrict maintenance to these indexes (schemes are chosen per
+        # index, §3.4, so one put may fan out into one task per scheme
+        # group).  None means every index of the table — used by
+        # crash-replay re-delivery.
+        self.index_names = index_names
+        # Tracing: id of the originating put's root span, so the APS apply
+        # span links back to the mutation it serves (enqueue → apply path).
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IndexTask({self.table!r}, {self.row!r}, ts={self.ts}, "
+                f"indexes={self.index_names})")
+
+
+def _fan_out(ctx: "IndexOpContext", thunks: list, site: str,
+             ) -> Generator[Any, Any, None]:
+    """Run one statement group (all PIs, or all DIs) in parallel.
+
+    The group members target *distinct* index tables (one op per index),
+    so they commute; the group boundary is a barrier, which is what keeps
+    the per-index SU2→SU3→SU4 (or BA2→BA3→BA4) statement order intact.
+    A single op skips the scatter machinery entirely.
+    """
+    if not thunks:
+        return
+    if len(thunks) == 1:
+        yield from thunks[0]()
+        return
+    server = ctx.server
+    yield scatter_gather(server.sim, thunks,
+                         max_fanout=server.config.scatter_max_fanout,
+                         name=site, metrics=server.cluster.metrics, site=site)
 
 
 def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
@@ -65,6 +101,11 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
     follows Algorithm 1 (SU2 insert, SU3 read, SU4 delete); the APS
     follows Algorithm 4 (BA2 read, BA3 delete, BA4 insert).  Both orders
     converge because entries carry base timestamps.
+
+    Ops within one statement group fan out to their (distinct) index
+    regions in parallel; no timestamp is assigned inside the group (every
+    entry carries the base ts fixed at SU1), so parallel landing order
+    cannot perturb the δ arithmetic of §4.3.
 
     Raises :class:`RpcError` if any step ultimately fails — the caller
     decides whether to queue a retry (sync path) or back off (APS).
@@ -91,10 +132,14 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
                 inserts.append(
                     (index, row_index_key(index, new_tuple, task.row)))
 
+    insert_thunks = [
+        (lambda index=index, key=key:
+         ctx.index_put(index.table_name, key, task.ts,
+                       background=background, span=span))
+        for index, key in inserts]
+
     if insert_first:
-        for index, key in inserts:                                  # SU2
-            yield from ctx.index_put(index.table_name, key, task.ts,
-                                     background=background, span=span)
+        yield from _fan_out(ctx, insert_thunks, "index_pi")          # SU2
 
     # One base read covers every index (Table 2: sync-full pays 1 Base Read).
     columns = sorted({col for index in touched for col in index.columns})
@@ -103,19 +148,21 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
         background=background, span=span)
     old_values = {col: value for col, (value, _ts) in old_row.items()}
 
-    for index in touched:                                            # SU4/BA3
+    delete_thunks = []                                               # SU4/BA3
+    for index in touched:
         old_tuple = extract_index_values(index, old_values)
         if old_tuple is None:
             continue
         old_key = row_index_key(index, old_tuple, task.row)
-        yield from ctx.index_delete(index.table_name, old_key,
-                                    task.ts - DELTA_MS,
-                                    background=background, span=span)
+        delete_thunks.append(
+            lambda index=index, old_key=old_key:
+            ctx.index_delete(index.table_name, old_key,
+                             task.ts - DELTA_MS,
+                             background=background, span=span))
+    yield from _fan_out(ctx, delete_thunks, "index_di")
 
     if not insert_first:
-        for index, key in inserts:                                  # BA4
-            yield from ctx.index_put(index.table_name, key, task.ts,
-                                     background=background, span=span)
+        yield from _fan_out(ctx, insert_thunks, "index_pi")          # BA4
 
 
 def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,

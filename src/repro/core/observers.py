@@ -57,8 +57,11 @@ class SyncFullObserver(RegionObserver):
 
     def _maintain(self, server: "RegionServer", task: IndexTask,
                   span: Any) -> Generator[Any, Any, None]:
+        # `fanout` tags how many indexes this mutation's PI/DI groups may
+        # scatter across (the width of the parallel sync-full fan-out).
         obs = server.tracer.start("sync_index", parent=span, scheme="full",
-                                  server=server.name)
+                                  server=server.name,
+                                  fanout=len(task.index_names or ()))
         try:
             yield from maintain_indexes(server.op_context, task,
                                         background=False, insert_first=True,

@@ -14,7 +14,6 @@ first indexed column (how Figure 9 sweeps ``item_price``).
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Dict, Generator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import NoSuchIndexError
@@ -32,14 +31,32 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["IndexHit", "index_scan_range", "get_by_index"]
 
 
-@dataclasses.dataclass
 class IndexHit:
-    """One matching index entry, decoded."""
+    """One matching index entry, decoded.
 
-    rowkey: bytes
-    values: tuple
-    ts: int
-    index_key: bytes
+    A plain ``__slots__`` class rather than a dataclass: reads decode one
+    of these per matching entry, and the wall-clock hot loop is sensitive
+    to per-instance dict overhead.
+    """
+
+    __slots__ = ("rowkey", "values", "ts", "index_key")
+
+    def __init__(self, rowkey: bytes, values: tuple, ts: int,
+                 index_key: bytes):
+        self.rowkey = rowkey
+        self.values = values
+        self.ts = ts
+        self.index_key = index_key
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, IndexHit):
+            return NotImplemented
+        return (self.rowkey == other.rowkey and self.values == other.values
+                and self.ts == other.ts and self.index_key == other.index_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IndexHit(rowkey={self.rowkey!r}, values={self.values!r}, "
+                f"ts={self.ts}, index_key={self.index_key!r})")
 
 
 def index_scan_range(index: IndexDescriptor,
@@ -112,12 +129,14 @@ def get_by_index(client: "Client", index: IndexDescriptor,
     return hits
 
 
-@dataclasses.dataclass
 class _KeyTs:
     """Duck-typed cell (key + ts) for re-decoding merged session results."""
 
-    key: bytes
-    ts: int
+    __slots__ = ("key", "ts")
+
+    def __init__(self, key: bytes, ts: int):
+        self.key = key
+        self.ts = ts
 
 
 def _broadcast_local(client: "Client", index: IndexDescriptor,
@@ -126,24 +145,24 @@ def _broadcast_local(client: "Client", index: IndexDescriptor,
     """Fan the query out to every server hosting the base table, in
     parallel, and merge the per-region answers in index-key order."""
     from repro.core.local import split_local_entry_key
-    from repro.sim.kernel import all_of
+    from repro.sim.scatter import scatter_gather
 
     cluster = client.cluster
     infos = cluster.master.regions_for_range(index.base_table, KeyRange())
     by_server = sorted({info.server_name for info in infos})
-    procs = []
-    for server_name in by_server:
-        server = cluster.servers[server_name]
 
-        def one_server(server=server):
-            cells = yield from cluster.network.call(
-                server, lambda: server.handle_local_index_scan(
-                    index.base_table, index.name, key_range, limit))
-            return cells
+    def one_server(server):
+        cells = yield from cluster.network.call(
+            server, lambda: server.handle_local_index_scan(
+                index.base_table, index.name, key_range, limit))
+        return cells
 
-        procs.append(cluster.sim.spawn(one_server(),
-                                       name=f"lidx-{server_name}"))
-    per_server = yield all_of(cluster.sim, procs)
+    per_server = yield scatter_gather(
+        cluster.sim,
+        [lambda s=cluster.servers[name]: one_server(s)
+         for name in by_server],
+        max_fanout=client.max_fanout, name="lidx",
+        metrics=cluster.metrics, site="local_index")
 
     merged = []
     for cells in per_server:
@@ -161,7 +180,57 @@ def _double_check(client: "Client", index: IndexDescriptor,
                   ) -> Generator[Any, Any, List[IndexHit]]:
     """Algorithm 2, SR2: for every candidate, read the base row; keep the
     entry if the base value still matches, otherwise delete it from the
-    index table (lazy repair)."""
+    index table (lazy repair).
+
+    The K base reads travel as parallel per-server multigets (~1 round
+    trip instead of K), and the repair deletes scatter too; counters,
+    per-row charges and the final index state are identical to the
+    sequential reference below (tested side by side).
+    """
+    if not hits:
+        return []
+    if not client.parallel_double_check:
+        confirmed = yield from _double_check_sequential(client, index, hits)
+        return confirmed
+    metrics = client.cluster.metrics
+    checks = metrics.counter("read_repair_checks", index=index.name)
+    repairs = metrics.counter("read_repair_repairs", index=index.name)
+    # Duplicate rowkeys (several entries of one row in a range query) stay
+    # duplicated so the server charges/counts K base reads, exactly as the
+    # sequential path did.
+    row_map = yield from client.multi_get(
+        index.base_table, [hit.rowkey for hit in hits],
+        columns=list(index.columns))
+    confirmed: List[IndexHit] = []
+    stale: List[IndexHit] = []
+    for hit in hits:
+        checks.inc()
+        row_data = row_map.get(hit.rowkey, {})
+        current = {col: value for col, (value, _ts) in row_data.items()}
+        if extract_index_values(index, current) == hit.values:
+            confirmed.append(hit)
+        else:
+            # Stale: DI(v_index ⊕ k, ts) — delete that exact entry version.
+            repairs.inc()
+            stale.append(hit)
+    if stale:
+        from repro.sim.scatter import scatter_gather
+        yield scatter_gather(
+            client.cluster.sim,
+            [lambda h=hit: client.delete_index_entry(index.table_name,
+                                                     h.index_key, h.ts)
+             for hit in stale],
+            max_fanout=client.max_fanout, name="repair",
+            metrics=metrics, site="read_repair")
+    return confirmed
+
+
+def _double_check_sequential(client: "Client", index: IndexDescriptor,
+                             hits: List[IndexHit],
+                             ) -> Generator[Any, Any, List[IndexHit]]:
+    """The pre-scatter reference implementation: one round trip per
+    candidate.  Kept for equivalence tests (and as the readable spec of
+    Algorithm 2's per-hit logic)."""
     metrics = client.cluster.metrics
     checks = metrics.counter("read_repair_checks", index=index.name)
     repairs = metrics.counter("read_repair_repairs", index=index.name)
@@ -175,7 +244,6 @@ def _double_check(client: "Client", index: IndexDescriptor,
         if base_tuple == hit.values:
             confirmed.append(hit)
         else:
-            # Stale: DI(v_index ⊕ k, ts) — delete that exact entry version.
             repairs.inc()
             yield from client.delete_index_entry(index.table_name,
                                                  hit.index_key, hit.ts)

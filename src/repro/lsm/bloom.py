@@ -47,13 +47,29 @@ class BloomFilter:
             yield (h1 + i * h2) % self.num_bits
 
     def add(self, key: bytes) -> None:
-        for pos in self._positions(key):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        # Digest + probe loop inlined (no generator frame): add/contains
+        # are called once per key per SSTable on the read path.
+        digest = blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        bits = self._bits
+        num_bits = self.num_bits
+        for i in range(self.num_hashes):
+            pos = (h1 + i * h2) % num_bits
+            bits[pos >> 3] |= 1 << (pos & 7)
         self.item_count += 1
 
     def might_contain(self, key: bytes) -> bool:
-        return all(self._bits[pos >> 3] & (1 << (pos & 7))
-                   for pos in self._positions(key))
+        digest = blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        bits = self._bits
+        num_bits = self.num_bits
+        for i in range(self.num_hashes):
+            pos = (h1 + i * h2) % num_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
 
     @property
     def size_bytes(self) -> int:

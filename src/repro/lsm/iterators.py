@@ -34,14 +34,22 @@ def resolve_versions(cells: Iterable[Cell],
         if cell.is_tombstone:
             if cell.ts > tomb_ts:
                 tomb_ts = cell.ts
+    # Memtable/SSTable version lists usually arrive already newest-first;
+    # detect order while filtering and only sort on an actual violation.
+    ordered = True
+    prev_ts = None
     for cell in cells:
         if cell.is_tombstone or cell.ts <= tomb_ts:
             continue
         if cell.ts in seen_ts:
             continue  # idempotent duplicate (same key, same ts)
         seen_ts.add(cell.ts)
+        if prev_ts is not None and cell.ts > prev_ts:
+            ordered = False
+        prev_ts = cell.ts
         values.append(cell)
-    values.sort(key=lambda c: -c.ts)
+    if not ordered:
+        values.sort(key=lambda c: -c.ts)
     if max_versions is not None:
         values = values[:max_versions]
     return values

@@ -1,7 +1,8 @@
 """Discrete-event simulation substrate.
 
 Provides the event loop (:mod:`repro.sim.kernel`), queueing primitives
-(:mod:`repro.sim.resources`), the device latency model
+(:mod:`repro.sim.resources`), bounded-fanout scatter-gather
+(:mod:`repro.sim.scatter`), the device latency model
 (:mod:`repro.sim.latency`) and seeded randomness (:mod:`repro.sim.random`).
 """
 
@@ -9,9 +10,11 @@ from repro.sim.kernel import Future, Process, Simulator, Timeout, all_of
 from repro.sim.latency import LatencyModel
 from repro.sim.random import RandomStream, SeedFactory
 from repro.sim.resources import AsyncQueue, Gate, Latch, Resource, use
+from repro.sim.scatter import scatter_gather
 
 __all__ = [
     "Simulator", "Process", "Future", "Timeout", "all_of",
+    "scatter_gather",
     "Resource", "AsyncQueue", "Gate", "Latch", "use",
     "LatencyModel", "RandomStream", "SeedFactory",
 ]

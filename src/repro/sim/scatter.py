@@ -1,0 +1,135 @@
+"""Bounded-fanout scatter-gather on the simulation kernel.
+
+Every RPC critical path that used to serialize K round trips (the
+sync-insert double-check, multi-region scans, multi-index maintenance)
+funnels through :func:`scatter_gather`: spawn up to ``max_fanout``
+processes at once, admit the rest FIFO as slots free up, and resolve one
+Future with the results in **input order**.
+
+Determinism contract (what keeps seeded runs byte-identical):
+
+* thunks are spawned in input order, and :meth:`Simulator.spawn` runs a
+  process's first step immediately — so every RNG draw made before a
+  process's first ``yield`` (e.g. the RPC propagation delay) happens in
+  input order, exactly as the sequential code drew them;
+* completion callbacks fire in kernel event order, which is a pure
+  function of the seed; results are stored by index, so gather order
+  never depends on completion order.
+
+Error isolation:
+
+* fail-fast (default): the first exception resolves the gather Future
+  with that exception and stops admitting queued thunks.  Already-running
+  siblings keep executing — they are marked as waited-on, so their own
+  failures are swallowed rather than crashing the simulator (no orphaned
+  :class:`ProcessCrashed`), and their side effects land as they would on
+  a real cluster where you cannot un-send an RPC.
+* collect-errors: every thunk runs to completion; the result list holds
+  the value *or the exception instance* at each index and the caller
+  triages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Future, Simulator
+
+__all__ = ["scatter_gather", "FANOUT_BUCKETS"]
+
+# Bucket edges for the fan-out width histogram (powers of two: widths are
+# small integers — number of servers/regions/indexes touched).
+FANOUT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+Thunk = Callable[[], Generator[Any, Any, Any]]
+
+
+def scatter_gather(sim: Simulator, thunks: Iterable[Thunk],
+                   max_fanout: Optional[int] = None,
+                   collect_errors: bool = False,
+                   name: str = "scatter",
+                   metrics: Any = None,
+                   site: Optional[str] = None) -> Future:
+    """Run ``thunks`` concurrently (at most ``max_fanout`` at a time) and
+    return a Future resolving to their results in input order.
+
+    Each thunk is a zero-argument callable producing a fresh generator
+    coroutine; laziness is what lets the fan-out stay bounded — a queued
+    thunk costs nothing until admitted.  With ``metrics`` (a
+    ``MetricsRegistry``) and ``site`` set, the call records its fan-out
+    width in ``scatter_fanout{site=}`` and its total gather latency in
+    ``scatter_gather_ms{site=}``.
+    """
+    thunks = list(thunks)
+    total = len(thunks)
+    result = Future()
+
+    width_hist = latency_hist = None
+    if metrics is not None and site is not None:
+        width_hist = metrics.histogram("scatter_fanout",
+                                       bounds=FANOUT_BUCKETS, site=site)
+        latency_hist = metrics.histogram("scatter_gather_ms", site=site)
+    start = sim.now()
+
+    if total == 0:
+        if width_hist is not None:
+            width_hist.observe(0)
+            latency_hist.observe(0.0)
+        result.set_result([])
+        return result
+
+    if max_fanout is None or max_fanout > total:
+        max_fanout = total
+    if max_fanout < 1:
+        raise SimulationError(f"scatter_gather: max_fanout must be >= 1, "
+                              f"got {max_fanout}")
+    if width_hist is not None:
+        width_hist.observe(total)
+
+    results: List[Any] = [None] * total
+    state = {"next": 0, "done": 0, "failed": False, "admitting": False}
+
+    def finish() -> None:
+        if latency_hist is not None:
+            latency_hist.observe(sim.now() - start)
+        result.set_result(results)
+
+    def on_done(index: int, future: Future) -> None:
+        if result.done():
+            return  # fail-fast already resolved; sibling just drains
+        exc = future.exception()
+        if exc is not None and not collect_errors:
+            state["failed"] = True
+            result.set_exception(exc)
+            return
+        results[index] = exc if exc is not None else future._value
+        state["done"] += 1
+        if state["done"] == total:
+            finish()
+        else:
+            admit()
+
+    def admit() -> None:
+        # Spawn in input order; `next - done` counts in-flight processes.
+        # The reentrancy guard keeps a thunk that completes synchronously
+        # (spawn runs the first step eagerly) from recursing through
+        # on_done -> admit; the outer loop picks the next thunk up instead.
+        if state["admitting"]:
+            return
+        state["admitting"] = True
+        try:
+            while (not state["failed"]
+                   and state["next"] < total
+                   and state["next"] - state["done"] < max_fanout):
+                index = state["next"]
+                state["next"] += 1
+                process = sim.spawn(thunks[index](), name=f"{name}-{index}")
+                process._waited_on = True
+                process.future.add_done_callback(
+                    lambda future, index=index: on_done(index, future))
+        finally:
+            state["admitting"] = False
+
+    admit()
+    return result

@@ -1,0 +1,77 @@
+"""``limit`` semantics for scans that straddle region boundaries.
+
+The parallel scatter scan over-fetches up to the full limit per region
+and trims at the merge; these tests pin the user-visible contract — a
+limited scan is exactly the prefix of the unlimited scan in key order —
+for every limit around and across the region splits."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, KeyRange, MiniCluster
+from repro.core.encoding import encode_value
+
+
+@pytest.fixture
+def cluster():
+    c = MiniCluster(num_servers=3, seed=13).start()
+    c.create_table("t", split_keys=[b"r10", b"r20"])
+    return c
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+def fill(cluster, client, n=30):
+    for i in range(n):
+        cluster.run(client.put("t", f"r{i:02d}".encode(),
+                               {"x": f"{i}".encode()}))
+
+
+def test_limit_straddling_region_boundaries(cluster, client):
+    """Region boundaries sit after rows 10 and 20; every limit — inside
+    the first region, exactly on a boundary, straddling one, straddling
+    both, and past the end — returns the key-order prefix."""
+    fill(cluster, client)
+    full = cluster.run(client.scan_table("t", KeyRange()))
+    assert len(full) == 30
+    for limit in (1, 5, 9, 10, 11, 15, 19, 20, 21, 29, 30, 35):
+        cells = cluster.run(client.scan_table("t", KeyRange(), limit=limit))
+        assert [c.key for c in cells] == [c.key for c in full[:limit]], limit
+
+
+def test_limit_with_range_starting_mid_region(cluster, client):
+    fill(cluster, client)
+    key_range = KeyRange(b"r05", b"r25")
+    full = cluster.run(client.scan_table("t", key_range))
+    assert len(full) == 20  # r05..r24
+    cells = cluster.run(client.scan_table("t", key_range, limit=12))
+    assert [c.key for c in cells] == [c.key for c in full[:12]]
+    assert cells[0].key.startswith(b"r05")
+    assert cells[-1].key.startswith(b"r16")
+
+
+def test_index_range_query_limit_across_index_regions(cluster, client):
+    """The same contract through getByIndex when the INDEX table itself is
+    split across servers: a limited range query is the prefix of the
+    unlimited one."""
+    cluster.create_index(
+        IndexDescriptor("ix", "t", ("x",), scheme=IndexScheme.SYNC_FULL),
+        split_keys=[encode_value(b"v10"), encode_value(b"v20")])
+    for i in range(30):
+        cluster.run(client.put("t", f"r{i:02d}".encode(),
+                               {"x": f"v{i:02d}".encode()}))
+    full = cluster.run(client.get_by_index("ix", low=b"v00", high=b"v29"))
+    assert [h.rowkey for h in full] == [f"r{i:02d}".encode()
+                                        for i in range(30)]
+    for limit in (1, 9, 10, 11, 20, 25, 30, 40):
+        hits = cluster.run(client.get_by_index("ix", low=b"v00", high=b"v29",
+                                               limit=limit))
+        assert hits == full[:limit], limit
+
+
+def test_limit_zero_and_empty_range(cluster, client):
+    fill(cluster, client, n=5)
+    assert cluster.run(client.scan_table("t", KeyRange(), limit=0)) == []
+    assert cluster.run(client.scan_table("t", KeyRange(b"zz", None))) == []

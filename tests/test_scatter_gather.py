@@ -1,0 +1,247 @@
+"""Semantics of the scatter-gather primitive: bounded fan-out, input-order
+results, error isolation, and byte-identical seeded runs."""
+
+import pytest
+
+from repro import IndexDescriptor, IndexScheme, KeyRange, MiniCluster
+from repro.errors import RpcError, SimulationError
+from repro.obs import MetricsRegistry
+from repro.sim import Simulator, Timeout
+from repro.sim.scatter import scatter_gather
+
+
+def gather(sim, thunks, **kwargs):
+    """Drive one scatter_gather call to completion on a bare kernel."""
+    future = scatter_gather(sim, thunks, **kwargs)
+
+    def waiter():
+        results = yield future
+        return results
+
+    return sim.run_until_complete(sim.spawn(waiter()))
+
+
+# -- ordering -----------------------------------------------------------------
+
+
+def test_results_in_input_order_despite_completion_order():
+    sim = Simulator()
+    completion = []
+
+    def worker(i, delay):
+        yield Timeout(delay)
+        completion.append(i)
+        return f"r{i}"
+
+    results = gather(sim, [lambda i=i, d=d: worker(i, d)
+                           for i, d in enumerate([30, 1, 10])])
+    assert results == ["r0", "r1", "r2"]
+    assert completion == [1, 2, 0]  # completion order is NOT input order
+
+
+def test_empty_thunks_resolve_immediately():
+    sim = Simulator()
+    assert gather(sim, []) == []
+
+
+def test_synchronously_completing_thunks_do_not_recurse():
+    sim = Simulator()
+
+    def instant(i):
+        return i
+        yield  # pragma: no cover
+
+    # Large N with fanout 1: each completes during its own spawn; without
+    # the reentrancy guard this would recurse N frames deep.
+    n = 2000
+    results = gather(sim, [lambda i=i: instant(i) for i in range(n)],
+                     max_fanout=1)
+    assert results == list(range(n))
+
+
+# -- bounded fan-out ----------------------------------------------------------
+
+
+def test_bounded_fanout_never_exceeded():
+    sim = Simulator()
+    state = {"active": 0, "max_seen": 0}
+
+    def worker(i):
+        state["active"] += 1
+        state["max_seen"] = max(state["max_seen"], state["active"])
+        yield Timeout(5)
+        state["active"] -= 1
+        return i
+
+    results = gather(sim, [lambda i=i: worker(i) for i in range(10)],
+                     max_fanout=3)
+    assert results == list(range(10))
+    assert state["max_seen"] == 3
+
+
+def test_max_fanout_one_is_fully_sequential():
+    sim = Simulator()
+    intervals = []
+
+    def worker(i):
+        start = sim.now()
+        yield Timeout(7)
+        intervals.append((i, start, sim.now()))
+
+    gather(sim, [lambda i=i: worker(i) for i in range(4)], max_fanout=1)
+    assert [i for i, _, _ in intervals] == [0, 1, 2, 3]
+    for (_, _, end), (_, start, _) in zip(intervals, intervals[1:]):
+        assert start >= end  # no overlap at all
+
+
+def test_invalid_max_fanout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        scatter_gather(sim, [lambda: iter(())], max_fanout=0)
+
+
+# -- error isolation ----------------------------------------------------------
+
+
+def test_fail_fast_raises_without_orphaning_siblings():
+    sim = Simulator()
+    finished = []
+
+    def ok(i, delay):
+        yield Timeout(delay)
+        finished.append(i)
+        return i
+
+    def bad():
+        yield Timeout(2)
+        raise RpcError("injected")
+
+    future = scatter_gather(
+        sim, [lambda: ok(0, 10), bad, lambda: ok(2, 20)])
+
+    def waiter():
+        yield future
+
+    process = sim.spawn(waiter())
+    with pytest.raises(RpcError):
+        sim.run_until_complete(process)
+    # Siblings keep running (you cannot un-send an RPC) and their later
+    # completion must not crash the simulator as orphaned processes.
+    sim.run()
+    assert finished == [0, 2]
+
+
+def test_fail_fast_stops_admitting_queued_thunks():
+    sim = Simulator()
+    spawned = set()
+
+    def worker(i, delay, fail=False):
+        spawned.add(i)
+        yield Timeout(delay)
+        if fail:
+            raise RpcError("boom")
+        return i
+
+    future = scatter_gather(
+        sim,
+        [lambda: worker(0, 1, fail=True), lambda: worker(1, 50),
+         lambda: worker(2, 1), lambda: worker(3, 1)],
+        max_fanout=2)
+
+    def waiter():
+        yield future
+
+    process = sim.spawn(waiter())
+    with pytest.raises(RpcError):
+        sim.run_until_complete(process)
+    sim.run()
+    assert spawned == {0, 1}  # 2 and 3 were queued and never admitted
+
+
+def test_sibling_failure_after_fail_fast_is_swallowed():
+    sim = Simulator()
+
+    def bad(delay, message):
+        yield Timeout(delay)
+        raise RpcError(message)
+
+    future = scatter_gather(sim, [lambda: bad(1, "first"),
+                                  lambda: bad(9, "second")])
+
+    def waiter():
+        yield future
+
+    process = sim.spawn(waiter())
+    with pytest.raises(RpcError, match="first"):
+        sim.run_until_complete(process)
+    sim.run()  # the second failure drains silently — no ProcessCrashed
+
+
+def test_collect_errors_returns_exception_instances_in_place():
+    sim = Simulator()
+
+    def ok(i):
+        yield Timeout(i)
+        return i
+
+    def bad():
+        yield Timeout(2)
+        raise RpcError("kept")
+
+    results = gather(sim, [lambda: ok(5), bad, lambda: ok(1)],
+                     collect_errors=True)
+    assert results[0] == 5
+    assert isinstance(results[1], RpcError)
+    assert results[2] == 1
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def test_metrics_record_fanout_width_and_latency():
+    sim = Simulator()
+    metrics = MetricsRegistry()
+
+    def worker(i):
+        yield Timeout(10)
+        return i
+
+    gather(sim, [lambda i=i: worker(i) for i in range(6)],
+           max_fanout=2, metrics=metrics, site="unit")
+    width = metrics.histogram("scatter_fanout", site="unit")
+    latency = metrics.histogram("scatter_gather_ms", site="unit")
+    assert width.count == 1 and width.sum == 6
+    assert latency.count == 1
+    assert latency.sum == pytest.approx(30.0)  # 6 workers, 2 at a time
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def _seeded_run(seed):
+    cluster = MiniCluster(num_servers=3, seed=seed).start()
+    cluster.create_table("t", split_keys=[b"r07", b"r14"])
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",),
+                                         scheme=IndexScheme.SYNC_INSERT))
+    client = cluster.new_client()
+    for i in range(20):
+        cluster.run(client.put("t", f"r{i:02d}".encode(),
+                               {"c": b"v%d" % (i % 3)}))
+    for i in range(0, 20, 2):
+        cluster.run(client.put("t", f"r{i:02d}".encode(), {"c": b"w"}))
+    hits = cluster.run(client.get_by_index("ix", equals=[b"w"]))
+    cells = cluster.run(client.scan_table("t", KeyRange(), limit=7))
+    return (cluster.metrics.snapshot(), cluster.tracer.export_jsonl(),
+            [h.rowkey for h in hits], [c.key for c in cells])
+
+
+def test_same_seed_runs_are_byte_identical():
+    """The determinism contract: spawn order + kernel event order are pure
+    functions of the seed, so two identical runs produce identical metric
+    snapshots AND byte-identical JSONL traces (timings included)."""
+    first = _seeded_run(7)
+    second = _seeded_run(7)
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]
+    assert first[3] == second[3]
