@@ -54,6 +54,11 @@ class ExperimentConfig:
     virtualization_factor: float = 1.0
     staleness_sample_rate: float = 1.0
     seed: int = 42
+    # Experiments default to an UNBOUNDED AUQ: the paper's Figure 11
+    # regime (staleness growing with load) requires the backlog to grow
+    # freely, so the production high-watermark backpressure stays off
+    # unless an experiment opts in.
+    auq_high_watermark: Optional[int] = None
 
     def schema(self) -> ItemSchema:
         return ItemSchema(record_count=self.record_count,
@@ -72,7 +77,8 @@ class Experiment:
         if config.virtualization_factor != 1.0:
             model = model.scaled(config.virtualization_factor)
         server_config = ServerConfig(
-            block_cache_bytes=config.block_cache_bytes)
+            block_cache_bytes=config.block_cache_bytes,
+            auq_high_watermark=config.auq_high_watermark)
         self.cluster = MiniCluster(
             num_servers=config.num_servers, model=model,
             server_config=server_config, seed=config.seed,

@@ -17,13 +17,16 @@ Emits ``BENCH_pr2.json`` with, per scheme:
 plus two read-latency sections: the Figure 8 exact-match shape (K=1 —
 one index hit per query, where parallelism cannot help much) and a
 multi-match variant (K≈5 hits per query, where the sync-insert
-double-check actually overlaps its K base reads).
+double-check actually overlaps its K base reads), and a ``ddl`` section:
+the same mixed workload run twice — once untouched, once with an online
+CREATE INDEX injected mid-run — reporting the job's sim-time duration,
+backfill rows/sec, and the foreground p95 paid during the build.
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr2.json`` in the working directory).
+  ``BENCH_pr3.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr2.json"
+DEFAULT_OUTPUT = "BENCH_pr3.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
@@ -123,6 +126,90 @@ def _read_latency_section(threads: int, duration_ms: float,
     return section
 
 
+def _ddl_section(threads: int, duration_ms: float,
+                 record_count: int) -> Dict[str, object]:
+    """Online CREATE INDEX under live YCSB traffic vs the identical run
+    without it: the cost of a DDL that actually competes for handler
+    slots, WAL appends and disks, which the legacy instantaneous build
+    could never show."""
+    from repro.core.index import IndexDescriptor
+    from repro.core.schemes import IndexScheme
+    from repro.ycsb.schema import INDEXED_PRICE_COLUMN
+
+    def one_run(inject_ddl: bool) -> Dict[str, object]:
+        exp = Experiment(ExperimentConfig(record_count=record_count,
+                                          title_cardinality=record_count // 5,
+                                          scheme_label="full"))
+        cluster = exp.cluster
+        job_box: Dict[str, object] = {}
+        if inject_ddl:
+            warmup = duration_ms / 5
+            # Fire once the measured window is underway, so the build's
+            # foreground impact lands inside the reported percentiles.
+            at = cluster.sim.now() + warmup + duration_ms * 0.25
+
+            def fire() -> None:
+                cluster.create_index(
+                    IndexDescriptor("item_price", exp.TABLE,
+                                    (INDEXED_PRICE_COLUMN,),
+                                    scheme=IndexScheme.SYNC_FULL),
+                    split_keys=exp.schema.price_split_keys(
+                        exp.config.index_regions),
+                    backfill="online")
+                job_box["job"] = next(
+                    j for j in cluster.ddl.jobs.values()
+                    if j.index_name == "item_price")
+
+            cluster.sim.call_at(at, fire)
+        start = time.perf_counter()
+        result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
+                                num_threads=threads, duration_ms=duration_ms,
+                                warmup_ms=duration_ms / 5)
+        wall_s = time.perf_counter() - start
+        overall = result.overall()
+        out: Dict[str, object] = {
+            "ops": overall.count,
+            "wall_seconds": round(wall_s, 3),
+            "sim_mean_ms": round(overall.mean_ms, 3),
+            "sim_p95_ms": round(overall.p95_ms, 3),
+            "sim_throughput_tps": round(overall.throughput_tps, 1),
+        }
+        if inject_ddl:
+            job = job_box["job"]
+            cluster.run(job.wait())
+            cluster.quiesce()
+            from repro.core.verify import check_index
+            duration = job.finished_at - job.started_at
+            chunk_ms = cluster.metrics.merged_histogram("ddl_chunk_ms")
+            out["job"] = {
+                "phase": job.phase.value,
+                "job_duration_sim_ms": round(duration, 3),
+                "rows_backfilled": job.rows_scanned,
+                "entries_written": job.entries_written,
+                "chunks": job.chunks_done,
+                "backfill_rows_per_sim_sec": round(
+                    job.rows_scanned / (duration / 1000.0), 1)
+                if duration else 0.0,
+                "chunk_mean_ms": round(chunk_ms.mean(), 3),
+                "chunk_p95_ms": round(chunk_ms.percentile(95), 3),
+                "verify_missing": job.verify_missing,
+                "index_consistent":
+                    check_index(cluster, "item_price").is_consistent,
+            }
+        return out
+
+    baseline = one_run(inject_ddl=False)
+    with_ddl = one_run(inject_ddl=True)
+    return {
+        "threads": threads,
+        "baseline": baseline,
+        "with_online_create": with_ddl,
+        # Headline number: what the online build cost the foreground p95.
+        "foreground_p95_impact_ms": round(
+            with_ddl["sim_p95_ms"] - baseline["sim_p95_ms"], 3),
+    }
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -136,7 +223,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     record_count = 1500 if quick else 2000
 
     report: Dict[str, object] = {
-        "bench": "pr2-scatter-gather-perf-baseline",
+        "bench": "pr3-online-ddl-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count},
@@ -152,6 +239,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     report["read_latency_multi_match_k5"] = _read_latency_section(
         probe, duration_ms, record_count,
         title_cardinality=record_count // 5)
+    report["ddl"] = _ddl_section(threads[0], duration_ms, record_count)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -178,4 +266,15 @@ def render_perf_report(report: Dict[str, object]) -> str:
                 f"    {label:>7} sim mean {stats['sim_mean_ms']:.2f} ms "
                 f"p95 {stats['sim_p95_ms']:.2f} ms "
                 f"({stats['sim_throughput_tps']:.0f} tps)")
+    ddl = report.get("ddl")
+    if ddl:
+        job = ddl["with_online_create"]["job"]
+        lines.append(
+            f"  ddl: online CREATE {job['rows_backfilled']} rows in "
+            f"{job['job_duration_sim_ms']:.0f} sim-ms "
+            f"({job['backfill_rows_per_sim_sec']:.0f} rows/s), "
+            f"foreground p95 {ddl['baseline']['sim_p95_ms']:.2f} -> "
+            f"{ddl['with_online_create']['sim_p95_ms']:.2f} ms "
+            f"(impact {ddl['foreground_p95_impact_ms']:+.2f} ms), "
+            f"consistent={job['index_consistent']}")
     return "\n".join(lines)

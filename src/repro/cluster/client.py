@@ -15,8 +15,9 @@ from __future__ import annotations
 from typing import (Any, Dict, Generator, List, Optional, Sequence, Tuple,
                     TYPE_CHECKING)
 
-from repro.errors import (NoSuchIndexError, NoSuchRegionError,
-                          NoSuchTableError, ServerDownError, SimulationError)
+from repro.errors import (IndexBuildingError, NoSuchIndexError,
+                          NoSuchRegionError, NoSuchTableError,
+                          ServerDownError, SimulationError)
 from repro.core import reader as reader_mod
 from repro.core.encoding import IndexableValue
 from repro.core.index import IndexDescriptor
@@ -299,6 +300,10 @@ class Client:
                      ) -> Generator[Any, Any, List[IndexHit]]:
         """getByIndex: rowkeys (as :class:`IndexHit`) matching the predicate."""
         index = self.cluster.index_descriptor(index_name)
+        if not index.is_readable:
+            raise IndexBuildingError(
+                f"index {index_name!r} is still building (online CREATE "
+                f"has not reached ACTIVE)")
         hits = yield from reader_mod.get_by_index(
             self, index, equals=equals, low=low, high=high, limit=limit,
             session=session)

@@ -13,7 +13,8 @@ import dataclasses
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import NoSuchIndexError, SimulationError
-from repro.core.index import IndexDescriptor, extract_index_values, row_index_key
+from repro.core.index import (IndexDescriptor, IndexState,
+                              extract_index_values, row_index_key)
 from repro.core.observers import build_observers
 from repro.core.staleness import StalenessTracker
 from repro.lsm.types import Cell
@@ -78,6 +79,17 @@ class MiniCluster:
         self._observer_cache: Dict[str, Tuple] = {}
         self._started = False
 
+        # DDL bookkeeping.  ``ddl_epoch`` increments on every index
+        # create/drop; tasks and planned ops carry the epoch they were
+        # created under so maintenance can never leak into a same-named
+        # index recreated later.  ``index_by_table`` is the authoritative
+        # live-index registry keyed by index TABLE name, consulted at op
+        # delivery time.
+        self.ddl_epoch = 0
+        self.index_by_table: Dict[str, IndexDescriptor] = {}
+        from repro.ddl.manager import DdlManager  # deferred: import cycle
+        self.ddl = DdlManager(self)
+
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> "MiniCluster":
@@ -117,6 +129,31 @@ class MiniCluster:
 
     # -- DDL -----------------------------------------------------------------------
 
+    def _attach_index_descriptor(self, index: IndexDescriptor,
+                                 state: IndexState) -> IndexDescriptor:
+        """Stamp a fresh DDL epoch on the descriptor and register it in the
+        catalog and the live-index registry.  Every index creation funnels
+        through here so the epoch invariant (recreated index > any task
+        enqueued before the recreate) holds unconditionally."""
+        self.ddl_epoch += 1
+        stamped = dataclasses.replace(index, state=state,
+                                      created_epoch=self.ddl_epoch)
+        base = self.descriptor(index.base_table)
+        base.attach_index(stamped)
+        if not stamped.is_local:
+            self.index_by_table[stamped.table_name] = stamped
+        self._observer_cache.pop(index.base_table, None)
+        return stamped
+
+    def _set_index_descriptor(self, new_descriptor: IndexDescriptor) -> None:
+        """Swap an index's descriptor in place (state/scheme change; the
+        DDL epoch is NOT bumped — it is still the same index)."""
+        base = self.descriptor(new_descriptor.base_table)
+        base.indexes[new_descriptor.name] = new_descriptor
+        if not new_descriptor.is_local:
+            self.index_by_table[new_descriptor.table_name] = new_descriptor
+        self._observer_cache.pop(new_descriptor.base_table, None)
+
     def create_table(self, name: str,
                      split_keys: Optional[List[bytes]] = None,
                      max_versions: int = 3,
@@ -131,12 +168,29 @@ class MiniCluster:
 
     def create_index(self, index: IndexDescriptor,
                      split_keys: Optional[List[bytes]] = None,
-                     backfill: bool = True,
+                     backfill="offline",
                      prefix_compression: bool = False) -> TableDescriptor:
         """CREATE INDEX: create the key-only index table, register the
         descriptor in the catalog (and the base table descriptor, as
-        BigInsights stores a copy there), and optionally build entries
-        for pre-existing base data."""
+        BigInsights stores a copy there), and build entries for
+        pre-existing base data.
+
+        ``backfill`` modes:
+
+        * ``"offline"`` (or ``True``, the legacy spelling) — the original
+          instantaneous, cost-free build;
+        * ``False`` — attach only, no entries for existing rows;
+        * ``"online"`` — chunked sim-time build through the repro.ddl
+          state machine (see :meth:`create_index_online`, which also
+          returns the job handle).
+        """
+        if backfill == "online":
+            self.create_index_online(index, split_keys=split_keys,
+                                     prefix_compression=prefix_compression)
+            return self.descriptor(index.table_name if not index.is_local
+                                   else index.base_table)
+        if backfill not in (True, False, "offline"):
+            raise ValueError(f"unknown backfill mode {backfill!r}")
         base = self.descriptor(index.base_table)
         if index.name in base.indexes:
             from repro.errors import IndexExistsError
@@ -144,10 +198,9 @@ class MiniCluster:
         if index.is_local:
             # No separate table: entries live in each base region's
             # reserved keyspace (co-location, §3.1).
-            base.attach_index(index)
-            self._observer_cache.pop(index.base_table, None)
+            stamped = self._attach_index_descriptor(index, IndexState.ACTIVE)
             if backfill:
-                self._backfill_local_index(index)
+                self._backfill_local_index(stamped)
             return base
         index_table = TableDescriptor(
             index.table_name, TableKind.INDEX,
@@ -156,35 +209,71 @@ class MiniCluster:
             block_bytes=base.block_bytes,
             prefix_compression=prefix_compression)
         self.master.create_table(index_table, split_keys=split_keys)
-        base.attach_index(index)
-        self._observer_cache.pop(index.base_table, None)
+        stamped = self._attach_index_descriptor(index, IndexState.ACTIVE)
         if backfill:
-            self._backfill_index(index)
+            self._backfill_index(stamped)
         return index_table
 
+    def create_index_online(self, index: IndexDescriptor,
+                            split_keys: Optional[List[bytes]] = None,
+                            prefix_compression: bool = False):
+        """Online CREATE INDEX (§7's creation utility, run inside simulated
+        time): attach the descriptor in BUILDING state — dual-writes by the
+        existing observers start immediately — then submit a DDL job that
+        backfills existing rows in chunks, catches up, verifies, and flips
+        the index ACTIVE.  Reads raise :class:`IndexBuildingError` until
+        then.  A plain function (not a coroutine) so a workload driver can
+        inject it mid-run via ``sim.call_at``; returns the
+        :class:`repro.ddl.jobs.DdlJob` handle."""
+        base = self.descriptor(index.base_table)
+        if index.name in base.indexes:
+            from repro.errors import IndexExistsError
+            raise IndexExistsError(index.name)
+        if index.is_local:
+            raise ValueError(
+                "local indexes build offline (entries are region-co-located"
+                " and crash-atomic with the base rows); use "
+                "backfill='offline'")
+        index_table = TableDescriptor(
+            index.table_name, TableKind.INDEX,
+            max_versions=base.max_versions,
+            flush_threshold_bytes=base.flush_threshold_bytes,
+            block_bytes=base.block_bytes,
+            prefix_compression=prefix_compression)
+        self.master.create_table(index_table, split_keys=split_keys)
+        stamped = self._attach_index_descriptor(index, IndexState.BUILDING)
+        return self.ddl.submit_create(stamped)
+
     def change_index_scheme(self, index_name: str,
-                            new_scheme, scrub: bool = True) -> None:
+                            new_scheme, scrub: bool = True,
+                            online: bool = False):
         """Switch an index's maintenance scheme at runtime (the adaptive
         controller's actuator; see :mod:`repro.core.adaptive`).
 
         Moving away from sync-insert (whose reads repair lazily) to a
         scheme whose reads trust the index requires removing the stale
-        entries first — ``scrub`` does that synchronously.  Pending AUQ
-        work from an async phase needs no special handling: deliveries
-        are idempotent and timestamped, so they stay correct under the
-        new scheme."""
+        entries first — ``scrub`` does that: synchronously and cost-free
+        by default, or (``online=True``) as a chunked sim-time scrub job
+        during which reads keep the Algorithm 2 double-check
+        (IndexState.TRANSITION) — returns the DdlJob in that case.
+        Pending AUQ work from an async phase needs no special handling:
+        deliveries are idempotent and timestamped, so they stay correct
+        under the new scheme."""
         from repro.core.schemes import IndexScheme
         index = self.index_descriptor(index_name)
         if index.scheme is new_scheme:
-            return
+            return None
         leaving_lazy = index.scheme is IndexScheme.SYNC_INSERT
+        needs_scrub = (scrub and leaving_lazy
+                       and new_scheme is not IndexScheme.SYNC_INSERT)
+        if online and not index.is_local:
+            return self.ddl.submit_alter(index, new_scheme,
+                                         scrub=needs_scrub)
         new_descriptor = dataclasses.replace(index, scheme=new_scheme)
-        base = self.descriptor(index.base_table)
-        base.indexes[index_name] = new_descriptor
-        self._observer_cache.pop(index.base_table, None)
-        if scrub and leaving_lazy \
-                and new_scheme is not IndexScheme.SYNC_INSERT:
+        self._set_index_descriptor(new_descriptor)
+        if needs_scrub:
             self._scrub_stale_entries(new_descriptor)
+        return None
 
     def _scrub_stale_entries(self, index: IndexDescriptor) -> None:
         """Tombstone every stale entry (WAL-logged, cost-free DDL path)."""
@@ -202,11 +291,27 @@ class MiniCluster:
                                        (tomb,))
             region.tree.add(tomb, seqno=record.seqno)
 
-    def drop_index(self, index_name: str) -> None:
+    def drop_index(self, index_name: str, online: bool = False):
+        """DROP INDEX.  ``online=True`` routes through the DDL job (a
+        DROPPING record is persisted first, so a crash mid-drop resumes)
+        and returns the DdlJob; the default drops instantly.  Either way,
+        pending AUQ deliveries for the dropped index are cancelled by the
+        epoch filter — they can no longer resurrect entries in a
+        same-named recreated index."""
+        if online:
+            return self.ddl.submit_drop(self.index_descriptor(index_name))
+        self._drop_index_now(index_name)
+        return None
+
+    def _drop_index_now(self, index_name: str) -> None:
         index = self.index_descriptor(index_name)
         base = self.descriptor(index.base_table)
         base.detach_index(index_name)
         self._observer_cache.pop(index.base_table, None)
+        # Invalidate in-flight maintenance: delivery filters compare the
+        # live registry against each op's planning epoch.
+        self.ddl_epoch += 1
+        self.index_by_table.pop(index.table_name, None)
         if index.is_local:
             # No table to drop; tombstone the reserved-keyspace entries so
             # a later same-named index cannot resurrect them.

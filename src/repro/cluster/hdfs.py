@@ -27,6 +27,27 @@ class SimHDFS:
         self._wals: Dict[str, List[WalRecord]] = {}
         # Store files: (table, region) -> ordered SSTables (newest first).
         self._stores: Dict[Tuple[str, str], List[SSTable]] = {}
+        # Meta namespace: small durable key/value documents (the DDL job
+        # catalog lives here — the stand-in for an HBase meta table).
+        # Values are JSON-able dicts; like the WALs, the namespace is
+        # owned by the cluster object and survives any server's death.
+        self._meta: Dict[str, dict] = {}
+
+    # -- meta namespace ------------------------------------------------------
+
+    def put_meta(self, key: str, value: dict) -> None:
+        self._meta[key] = dict(value)
+
+    def get_meta(self, key: str) -> dict:
+        if key not in self._meta:
+            raise StorageError(f"no meta document {key!r}")
+        return dict(self._meta[key])
+
+    def delete_meta(self, key: str) -> None:
+        self._meta.pop(key, None)
+
+    def list_meta(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._meta if k.startswith(prefix))
 
     # -- WAL namespace -------------------------------------------------------
 

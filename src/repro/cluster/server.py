@@ -23,8 +23,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import NoSuchRegionError, ServerDownError
-from repro.core.auq import IndexTask, aps_worker
+from repro.errors import NoSuchRegionError, RpcError, ServerDownError
+from repro.core.auq import IndexTask, aps_worker, maintain_indexes
 from repro.core.coprocessor import IndexOpContext
 from repro.core.local import (is_reserved_key, local_scan_range,
                               plan_local_index_cells)
@@ -62,6 +62,11 @@ class ServerConfig:
     # Figure 5; if False it reopens right after the memtable is sealed
     # (safe: post-seal puts survive the WAL roll-forward).
     strict_flush_gate: bool = False
+    # AUQ backpressure (§4's overflow fallback): at the high watermark an
+    # enqueue degrades to synchronous apply instead of growing the queue
+    # without bound.  None disables the guard (the Figure 11 backlog
+    # reproduction sets it to None explicitly).
+    auq_high_watermark: Optional[int] = 25_000
 
 
 class RegionServer:
@@ -113,6 +118,8 @@ class RegionServer:
         self.obs_auq_lag_last = metrics.gauge("auq_lag_last_ms", server=name)
         self.obs_aps_retries = metrics.counter("aps_retries", server=name)
         self.obs_degraded = metrics.counter("degraded_tasks", server=name)
+        self.obs_auq_degraded = metrics.counter("auq_degraded_total",
+                                                server=name)
         self.obs_flush_gate_wait = metrics.histogram("flush_gate_wait_ms",
                                                      server=name)
 
@@ -447,12 +454,17 @@ class RegionServer:
 
     def handle_scan(self, table: str, key_range: KeyRange,
                     limit: Optional[int] = None,
+                    max_ts: Optional[int] = None,
                     ) -> Generator[Any, Any, List[Cell]]:
-        """Range scan over one region's slice of ``key_range``."""
-        return (yield from self._with_handler(
-            lambda: self._scan_body(table, key_range, limit)))
+        """Range scan over one region's slice of ``key_range``.
 
-    def _scan_body(self, table, key_range, limit):
+        ``max_ts`` bounds visibility to cells at or below that timestamp —
+        the snapshot scan the online backfill uses so rows written after
+        the DDL snapshot (already dual-written) are not double-handled."""
+        return (yield from self._with_handler(
+            lambda: self._scan_body(table, key_range, limit, max_ts)))
+
+    def _scan_body(self, table, key_range, limit, max_ts=None):
         regions = [r for r in self.regions.values()
                    if r.table.name == table
                    and r.key_range.overlaps(key_range)]
@@ -462,7 +474,8 @@ class RegionServer:
         out: List[Cell] = []
         for region in sorted(regions, key=lambda r: r.key_range.start):
             stats = ReadStats()
-            cells = region.scan_rows(key_range, limit=limit, stats=stats)
+            cells = region.scan_rows(key_range, limit=limit, max_ts=max_ts,
+                                     stats=stats)
             yield Timeout(self.cluster.model._v(
                 self.cluster.model.scan_open_ms))
             yield from self.charge_read(stats)
@@ -528,34 +541,48 @@ class RegionServer:
     def _index_ops_body(self, ops, background):
         model = self.cluster.model
         counters = self.cluster.counters
-        for kind, table, key, ts in ops:
+        applied = 0
+        for op in ops:
+            kind, table, key, ts = op[0], op[1], op[2], op[3]
+            if len(op) > 4:
+                # Epoch-tagged op (APS / DDL backfill): drop it if the
+                # target index was dropped — or dropped and recreated —
+                # since the op was planned.  Applying it anyway would
+                # resurrect a pre-drop image in the new index.
+                live = self.cluster.index_by_table.get(table)
+                if live is None or live.created_epoch != op[4]:
+                    continue
             region = self._require_region(table, key)
             value = b"" if kind == "put" else None
             cell = Cell(key, ts, value)
             record = self.wal.append(region.name, table, (cell,))
             region.tree.add(cell, seqno=record.seqno)
+            applied += 1
             if kind == "put":
                 counters.incr("async_index_put" if background
                               else "index_put")
             else:
                 counters.incr("async_index_delete" if background
                               else "index_delete")
+        if not applied:
+            return
         # Group commit: one sequential write covers the whole batch; the
         # per-record cost beyond the first is the marginal buffer copy.
         group_cost = (model.wal_append()
-                      + (len(ops) - 1) * model.memtable_op())
+                      + (applied - 1) * model.memtable_op())
         yield from use(self.log_device, group_cost)
-        yield Timeout(model.memtable_op() * len(ops))
+        yield Timeout(model.memtable_op() * applied)
 
     def handle_index_scan(self, table: str, key_range: KeyRange,
                           limit: Optional[int] = None,
+                          max_ts: Optional[int] = None,
                           ) -> Generator[Any, Any, List[Cell]]:
         """RI: read matching index entries (key-only cells with base ts)."""
         return (yield from self._with_handler(
-            lambda: self._index_scan_body(table, key_range, limit)))
+            lambda: self._index_scan_body(table, key_range, limit, max_ts)))
 
-    def _index_scan_body(self, table, key_range, limit):
-        result = yield from self._scan_body(table, key_range, limit)
+    def _index_scan_body(self, table, key_range, limit, max_ts=None):
+        result = yield from self._scan_body(table, key_range, limit, max_ts)
         self.cluster.counters.incr("index_read")
         return result
 
@@ -603,9 +630,30 @@ class RegionServer:
         deadlock the flush).  The barrier ordering stays sound: the drain
         waits for in-flight puts *before* checking queue emptiness, so an
         entry enqueued by an admitted put is always seen."""
+        watermark = self.config.auq_high_watermark
+        if watermark is not None and len(self.auq) >= watermark:
+            yield from self._apply_degraded_sync(task)
+            return
         yield Timeout(self.cluster.model._v(self.cluster.model.auq_enqueue_ms))
         self.auq.put(task)
         self.obs_auq_depth.set(len(self.auq))
+
+    def _apply_degraded_sync(self, task: IndexTask) -> Generator[Any, Any, None]:
+        """AUQ overflow fallback: at the high watermark the enqueue runs
+        the maintenance synchronously (Algorithm 4 order, §4's bounded-queue
+        degradation) instead of deepening the backlog.  Deadlock-safe for
+        the same reason the sync-full path is: remote index ops land on the
+        target's dedicated index-handler pool.  On RPC failure the task
+        falls back into the queue — correctness over backpressure."""
+        self.obs_auq_degraded.inc()
+        try:
+            yield from maintain_indexes(self.op_context, task,
+                                        background=True, insert_first=False)
+        except RpcError:
+            self.auq.put(task)
+            self.obs_auq_depth.set(len(self.auq))
+            return
+        self.staleness.record(task.ts, self.sim.now())
 
     def degrade_to_auq(self, task: IndexTask) -> None:
         """§6.2: a failed synchronous index op is queued for retry; causal

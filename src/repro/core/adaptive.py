@@ -67,15 +67,22 @@ class AdaptiveController:
     def __init__(self, cluster: "MiniCluster", index_name: str,
                  required_consistency: ConsistencyLevel,
                  needs_read_your_writes: bool = False,
-                 policy: Optional[AdaptivePolicy] = None):
+                 policy: Optional[AdaptivePolicy] = None,
+                 online_actuation: bool = False):
         self.cluster = cluster
         self.index_name = index_name
         self.required_consistency = required_consistency
         self.needs_read_your_writes = needs_read_your_writes
         self.policy = policy or AdaptivePolicy()
+        # True: actuate through the online DDL job (chunked scrub inside
+        # simulated time — the repro.ddl subsystem); False: the legacy
+        # instantaneous switch.  Online actuation requires the simulator
+        # to be running so the job can make progress.
+        self.online_actuation = online_actuation
         self._window: Deque[str] = deque(maxlen=self.policy.window_ops)
         self._ops_since_switch = 0
         self.switches: list = []
+        self.jobs: list = []     # DdlJob handles from online actuations
 
     # -- observation hooks (call from the application / driver) ---------------
 
@@ -135,7 +142,10 @@ class AdaptiveController:
                 or len(self._window) < self.policy.min_ops_to_act
                 or self._ops_since_switch < self.policy.cooldown_ops):
             return decision
-        self.cluster.change_index_scheme(self.index_name, recommended)
+        job = self.cluster.change_index_scheme(self.index_name, recommended,
+                                               online=self.online_actuation)
+        if job is not None:
+            self.jobs.append(job)
         self._ops_since_switch = 0
         self.switches.append((self.cluster.sim.now(), current, recommended))
         decision.acted = True

@@ -26,7 +26,7 @@ from repro.sim.scatter import scatter_gather
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coprocessor import IndexOpContext
 
-__all__ = ["IndexTask", "maintain_indexes", "aps_worker",
+__all__ = ["IndexTask", "maintain_indexes", "aps_worker", "live_index_ops",
            "APS_RETRY_BACKOFF_MS", "APS_RETRY_BACKOFF_CAP_MS"]
 
 APS_RETRY_BACKOFF_MS = 5.0
@@ -46,13 +46,14 @@ class IndexTask:
     """
 
     __slots__ = ("table", "row", "new_values", "ts", "enqueued_at",
-                 "index_names", "span_id")
+                 "index_names", "span_id", "epoch")
 
     def __init__(self, table: str, row: bytes,
                  new_values: Optional[Dict[str, bytes]], ts: int,
                  enqueued_at: float = 0.0,
                  index_names: Optional[Tuple[str, ...]] = None,
-                 span_id: Optional[int] = None):
+                 span_id: Optional[int] = None,
+                 epoch: Optional[int] = None):
         self.table = table
         self.row = row
         self.new_values = new_values
@@ -66,10 +67,25 @@ class IndexTask:
         # Tracing: id of the originating put's root span, so the APS apply
         # span links back to the mutation it serves (enqueue → apply path).
         self.span_id = span_id
+        # DDL epoch at enqueue time.  A task must never maintain an index
+        # created *after* it was enqueued: a same-named index recreated
+        # after a drop would otherwise be resurrected with pre-drop images
+        # that nothing ever deletes.  None (WAL crash-replay) means
+        # "unfiltered", which is safe — replayed records predate no index
+        # they name, and superseded images are masked by the later
+        # mutations' own tombstones.
+        self.epoch = epoch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"IndexTask({self.table!r}, {self.row!r}, ts={self.ts}, "
                 f"indexes={self.index_names})")
+
+
+def _skip_for_epoch(task: IndexTask, index: Any) -> bool:
+    """True when the index was created after this task was enqueued (it
+    belongs to a newer DDL epoch and this mutation must not touch it)."""
+    return (task.epoch is not None
+            and getattr(index, "created_epoch", 0) > task.epoch)
 
 
 def _fan_out(ctx: "IndexOpContext", thunks: list, site: str,
@@ -116,6 +132,8 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
         if index.is_local:
             continue  # local indexes are maintained inside the put record
         if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if _skip_for_epoch(task, index):
             continue
         if task.new_values is None:
             touched.append(index)  # row delete affects every index
@@ -180,6 +198,8 @@ def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
             continue  # local indexes are maintained inside the put record
         if task.index_names is not None and index.name not in task.index_names:
             continue
+        if _skip_for_epoch(task, index):
+            continue
         if not any(col in task.new_values for col in index.columns):
             continue
         new_tuple = extract_index_values(index, task.new_values)
@@ -193,14 +213,18 @@ def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
 def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
                    span: Any = None) -> Generator[Any, Any, list]:
     """BA2 for one task: read the old row, return the DI/PI op list as
-    ``("del"|"put", index_table, key, ts)`` tuples (deletes first —
-    Algorithm 4's BA3 before BA4)."""
+    ``("del"|"put", index_table, key, ts, epoch)`` tuples (deletes first —
+    Algorithm 4's BA3 before BA4).  The trailing ``epoch`` is the target
+    index's ``created_epoch`` at planning time, so delivery can drop ops
+    whose index was dropped (or dropped and recreated) in the meantime."""
     descriptor = ctx.table_descriptor(task.table)
     touched = []
     for index in descriptor.indexes.values():
         if index.is_local:
             continue  # local indexes are maintained inside the put record
         if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if _skip_for_epoch(task, index):
             continue
         if task.new_values is None or any(col in task.new_values
                                           for col in index.columns):
@@ -220,15 +244,38 @@ def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
         if old_tuple is not None:
             ops.append(("del", index.table_name,
                         row_index_key(index, old_tuple, task.row),
-                        task.ts - DELTA_MS))
+                        task.ts - DELTA_MS,
+                        getattr(index, "created_epoch", 0)))
     if task.new_values is not None:
         for index in touched:
             new_tuple = extract_index_values(index, task.new_values)
             if new_tuple is not None:
                 ops.append(("put", index.table_name,
                             row_index_key(index, new_tuple, task.row),
-                            task.ts))
+                            task.ts,
+                            getattr(index, "created_epoch", 0)))
     return ops
+
+
+def live_index_ops(cluster: Any, ops: list) -> list:
+    """Drop ops whose target index no longer exists at its planning epoch.
+
+    Re-checked on every delivery attempt (not just once): a drop can land
+    between planning and delivery, or between delivery retries.  Without
+    this, an in-flight op for a dropped index either spins forever
+    (table gone → locate fails → infinite APS retry) or — worse — lands
+    in a same-named recreated index and resurrects a pre-drop image."""
+    by_table = getattr(cluster, "index_by_table", None)
+    if by_table is None:
+        return ops
+    kept = []
+    for op in ops:
+        if len(op) > 4:
+            live = by_table.get(op[1])
+            if live is None or getattr(live, "created_epoch", 0) != op[4]:
+                continue
+        kept.append(op)
+    return kept
 
 
 def aps_worker(server: Any, worker_id: int) -> Generator[Any, Any, None]:
@@ -287,10 +334,14 @@ def _process_batch(server: Any, ctx: "IndexOpContext",
         ops = yield from plan_index_ops(ctx, task, span=span)
         all_ops.extend(ops)
 
+    # Deliver only ops whose index is still alive at its planning epoch
+    # (a drop may have raced the planning read above).
+    all_ops = live_index_ops(server.cluster, all_ops)
+
     # Group by target server, preserving op order within a group.
     groups: Dict[Any, list] = {}
     for op in all_ops:
-        _kind, table, key, _ts = op
+        _kind, table, key = op[0], op[1], op[2]
         try:
             target, _region = server.cluster.locate(table, key)
         except Exception:  # noqa: BLE001 - mid-recovery; retry below
@@ -310,6 +361,12 @@ def _process_batch(server: Any, ctx: "IndexOpContext",
                 backoff = min(backoff * 2, APS_RETRY_BACKOFF_CAP_MS)
                 if not server.alive:
                     return
+                # A concurrent drop_index turns retries into a busy loop
+                # (the table is gone, the RPC can never succeed) — filter
+                # again before the next attempt.
+                ops = live_index_ops(server.cluster, ops)
+                if not ops:
+                    break
                 # Routing may have changed (recovery); re-resolve.
                 try:
                     target, _region = server.cluster.locate(ops[0][1],

@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from repro.core.encoding import IndexableValue, encode_index_key
 from repro.core.schemes import IndexScheme
 
-__all__ = ["IndexDescriptor", "IndexScope", "row_index_key",
+__all__ = ["IndexDescriptor", "IndexScope", "IndexState", "row_index_key",
            "extract_index_values", "INDEX_TABLE_PREFIX", "index_table_name"]
 
 
@@ -25,6 +25,25 @@ class IndexScope(enum.Enum):
 
     GLOBAL = "global"
     LOCAL = "local"
+
+
+class IndexState(enum.Enum):
+    """Lifecycle state of an index (the online-DDL state machine of
+    :mod:`repro.ddl`).
+
+    * ``BUILDING`` — an online CREATE is in flight: new mutations are
+      dual-written by the observers, but the backfill has not finished,
+      so reads must not trust (or even see) the index yet.
+    * ``ACTIVE`` — fully built; reads follow the scheme's normal rules.
+    * ``TRANSITION`` — an online ALTER ... SCHEME away from sync-insert
+      is scrubbing stale entries; writes already follow the new scheme
+      but reads keep the Algorithm 2 double-check until the scrub ends
+      (the stepwise consistency hand-off).
+    """
+
+    BUILDING = "building"
+    ACTIVE = "active"
+    TRANSITION = "transition"
 
 INDEX_TABLE_PREFIX = "__idx__"
 
@@ -51,6 +70,12 @@ class IndexDescriptor:
     extractor: Optional[Callable[
         [Dict[str, Optional[bytes]]],
         Optional[Tuple[Optional[IndexableValue], ...]]]] = None
+    # Online-DDL lifecycle (repro.ddl).  ``state`` gates the read path;
+    # ``created_epoch`` is the cluster DDL epoch at creation, used to keep
+    # in-flight async maintenance from leaking into a same-named index
+    # recreated after a drop.
+    state: IndexState = IndexState.ACTIVE
+    created_epoch: int = 0
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -74,6 +99,18 @@ class IndexDescriptor:
     @property
     def is_composite(self) -> bool:
         return len(self.columns) > 1
+
+    @property
+    def is_readable(self) -> bool:
+        """False while an online CREATE is still backfilling."""
+        return self.state is not IndexState.BUILDING
+
+    @property
+    def needs_read_repair(self) -> bool:
+        """True when reads must run the Algorithm 2 double-check even
+        though the scheme itself would trust the index: an online
+        ALTER away from sync-insert has not finished its scrub yet."""
+        return self.state is IndexState.TRANSITION
 
 
 def extract_index_values(index: IndexDescriptor,

@@ -53,7 +53,8 @@ class SyncFullObserver(RegionObserver):
         return IndexTask(table.name, row, values, ts,
                          enqueued_at=server.sim.now(),
                          index_names=_owned_indexes(table, self.SCHEMES),
-                         span_id=_span_id(span))
+                         span_id=_span_id(span),
+                         epoch=server.cluster.ddl_epoch)
 
     def _maintain(self, server: "RegionServer", task: IndexTask,
                   span: Any) -> Generator[Any, Any, None]:
@@ -97,7 +98,8 @@ class SyncInsertObserver(RegionObserver):
         task = IndexTask(table.name, row, values, ts,
                          enqueued_at=server.sim.now(),
                          index_names=_owned_indexes(table, self.SCHEMES),
-                         span_id=_span_id(span))
+                         span_id=_span_id(span),
+                         epoch=server.cluster.ddl_epoch)
         if not task.index_names:
             return
         obs = server.tracer.start("sync_index", parent=span, scheme="insert",
@@ -137,7 +139,8 @@ class AsyncObserver(RegionObserver):
             return
         yield from self._enqueue(server, IndexTask(
             table.name, row, values, ts, enqueued_at=server.sim.now(),
-            index_names=names, span_id=_span_id(span)), span)
+            index_names=names, span_id=_span_id(span),
+            epoch=server.cluster.ddl_epoch), span)
 
     def post_delete(self, server: "RegionServer", table: TableDescriptor,
                     row: bytes, ts: int, span: Any = None,
@@ -147,7 +150,8 @@ class AsyncObserver(RegionObserver):
             return
         yield from self._enqueue(server, IndexTask(
             table.name, row, None, ts, enqueued_at=server.sim.now(),
-            index_names=names, span_id=_span_id(span)), span)
+            index_names=names, span_id=_span_id(span),
+            epoch=server.cluster.ddl_epoch), span)
 
 
 def build_observers(table: TableDescriptor) -> Tuple[RegionObserver, ...]:

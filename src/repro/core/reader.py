@@ -113,7 +113,10 @@ def get_by_index(client: "Client", index: IndexDescriptor,
                                          limit=limit, is_index=True)
     hits = _decode_hits(index, cells)
 
-    if index.scheme is IndexScheme.SYNC_INSERT:
+    # Algorithm 2 double-check: always for sync-insert, and temporarily
+    # for any scheme while an online ALTER away from sync-insert is still
+    # scrubbing stale entries (IndexState.TRANSITION).
+    if index.scheme is IndexScheme.SYNC_INSERT or index.needs_read_repair:
         hits = yield from _double_check(client, index, hits)
 
     if (index.scheme is IndexScheme.ASYNC_SESSION and session is not None

@@ -1,0 +1,19 @@
+"""repro.ddl: online index lifecycle as sim-time jobs.
+
+The paper's §7 "utility for index creation, maintenance and cleanse"
+run *inside* the timed system instead of as instantaneous catalog
+mutations: CREATE INDEX dual-writes from the moment of attach, then
+backfills existing rows in resumable chunks; ALTER ... SCHEME runs the
+sync-insert→trusting-scheme scrub as chunked work; DROP INDEX persists
+its intent before acting.  Job state lives in a durable catalog
+(SimHDFS meta namespace), so a crash mid-backfill resumes from the last
+completed chunk.  See DESIGN.md §9 for the state machine and the
+idempotence argument.
+"""
+
+from repro.ddl.catalog import JobCatalog
+from repro.ddl.jobs import DdlJob, JobKind, JobPhase
+from repro.ddl.manager import DdlConfig, DdlManager
+
+__all__ = ["DdlJob", "JobKind", "JobPhase", "JobCatalog",
+           "DdlConfig", "DdlManager"]

@@ -1,0 +1,139 @@
+"""DDL job records and the lifecycle state machine.
+
+A :class:`DdlJob` is the persistent unit of an online index DDL:
+
+``CREATE``  PENDING → DUAL_WRITE → BACKFILL → CATCH_UP → VERIFY → ACTIVE
+``ALTER``   PENDING → DUAL_WRITE → BACKFILL(scrub) → CATCH_UP → VERIFY → ACTIVE
+``DROP``    PENDING → DROPPING → DONE
+
+Every phase transition and every completed backfill/scrub round is
+checkpointed to the job catalog (:mod:`repro.ddl.catalog`), so whoever
+re-runs the job — the same manager after a region-server crash, or a
+fresh manager after a master restart — continues from the persisted
+cursors instead of starting over.  Progress is safe to repeat because
+all index entries carry base timestamps (the paper's idempotence
+discipline): re-writing a chunk lands cells that are either identical
+or already masked by newer foreground maintenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict, Generator, Optional
+
+from repro.sim.kernel import Timeout
+
+__all__ = ["JobKind", "JobPhase", "DdlJob", "PHASE_ORDINAL",
+           "TERMINAL_PHASES"]
+
+
+class JobKind(enum.Enum):
+    CREATE = "create"
+    ALTER = "alter"
+    DROP = "drop"
+
+
+class JobPhase(enum.Enum):
+    PENDING = "pending"
+    DUAL_WRITE = "dual_write"
+    BACKFILL = "backfill"
+    CATCH_UP = "catch_up"
+    VERIFY = "verify"
+    ACTIVE = "active"      # terminal for CREATE / ALTER
+    DROPPING = "dropping"
+    DONE = "done"          # terminal for DROP
+    FAILED = "failed"
+
+
+# Numeric encoding for the ddl_job_phase gauge (monotone along the
+# happy path, so a phase-over-time plot reads as a staircase).
+PHASE_ORDINAL: Dict[JobPhase, int] = {
+    phase: i for i, phase in enumerate(JobPhase)}
+
+TERMINAL_PHASES = frozenset(
+    {JobPhase.ACTIVE, JobPhase.DONE, JobPhase.FAILED})
+
+_REGION_DONE = "<done>"
+
+
+@dataclasses.dataclass
+class DdlJob:
+    job_id: str
+    kind: JobKind
+    index_name: str
+    base_table: str
+    index_table: str
+    # ALTER only: target scheme (IndexScheme.value) and whether a scrub
+    # round is required (leaving sync-insert for a trusting scheme).
+    new_scheme: Optional[str] = None
+    scrub: bool = False
+    phase: JobPhase = JobPhase.PENDING
+    # Backfill/scrub snapshot: rows at or below this ts are this job's
+    # responsibility; anything newer is dual-written by the observers.
+    snapshot_ts: int = 0
+    # Per-region resume state: region name -> hex-encoded next start key,
+    # or the done sentinel.  Keyed by region NAME because recovery
+    # reassigns regions without renaming them.
+    cursors: Dict[str, str] = dataclasses.field(default_factory=dict)
+    chunks_done: int = 0
+    rows_scanned: int = 0
+    entries_written: int = 0
+    stale_deleted: int = 0
+    verify_checked: int = 0
+    verify_missing: int = 0
+    # Fencing token: bumped on every resume so a superseded runner
+    # coroutine notices at its next checkpoint and exits.
+    owner_token: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.phase in TERMINAL_PHASES
+
+    def wait(self, poll_ms: float = 5.0) -> Generator[Any, Any, "DdlJob"]:
+        """Sim-time wait until the job reaches a terminal phase."""
+        while not self.is_terminal:
+            yield Timeout(poll_ms)
+        return self
+
+    # -- per-region cursors -------------------------------------------------
+
+    def region_cursor(self, region_name: str) -> Optional[bytes]:
+        """Resume point for a region, or None to start at the region's
+        own start key.  Raises nothing for done regions — callers filter
+        with :meth:`region_done` first."""
+        raw = self.cursors.get(region_name)
+        if raw is None or raw == _REGION_DONE:
+            return None
+        return bytes.fromhex(raw)
+
+    def set_region_cursor(self, region_name: str, next_start: bytes) -> None:
+        self.cursors[region_name] = next_start.hex()
+
+    def mark_region_done(self, region_name: str) -> None:
+        self.cursors[region_name] = _REGION_DONE
+
+    def region_done(self, region_name: str) -> bool:
+        return self.cursors.get(region_name) == _REGION_DONE
+
+    # -- persistence --------------------------------------------------------
+
+    def to_record(self) -> dict:
+        """JSON-able snapshot for the catalog meta-document."""
+        record = dataclasses.asdict(self)
+        record["kind"] = self.kind.value
+        record["phase"] = self.phase.value
+        record["cursors"] = dict(self.cursors)
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DdlJob":
+        data = dict(record)
+        data["kind"] = JobKind(data["kind"])
+        data["phase"] = JobPhase(data["phase"])
+        return cls(**data)

@@ -72,6 +72,11 @@ class IndexExistsError(IndexError_):
     """CREATE INDEX for a name that is already taken."""
 
 
+class IndexBuildingError(IndexError_):
+    """Query referenced an index whose online build has not completed;
+    the index is write-visible (dual-written) but not yet readable."""
+
+
 class SessionExpiredError(ClusterError):
     """A session-consistent call used a session past its lifetime."""
 

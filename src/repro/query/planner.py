@@ -43,6 +43,8 @@ def plan_query(cluster: "MiniCluster", table: str,
     column = getattr(predicate, "column", None)
     if column is not None:
         for index in descriptor.indexes.values():
+            if not index.is_readable:
+                continue  # online CREATE still backfilling — not usable yet
             if index.columns[0] == column:
                 if isinstance(predicate, (Eq, Range)):
                     return QueryPlan(table, predicate, "index", index)

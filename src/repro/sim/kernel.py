@@ -226,6 +226,16 @@ class Simulator:
         if isinstance(waitable, Process):
             waitable._waited_on = True
             future = waitable.future
+            # A process that crashed during spawn's eager first step (before
+            # anyone could wait on it) was provisionally recorded as an
+            # orphan crash.  Its exception is about to surface through
+            # future.result() below — claiming it here keeps the same error
+            # from being raised a second time by a later step().
+            if future.done() and future._exception is not None:
+                self._crashes = [
+                    c for c in self._crashes
+                    if not (c.process_name == waitable.name
+                            and c.cause is future._exception)]
         elif isinstance(waitable, Future):
             future = waitable
         else:
