@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Docs lint: the documentation must keep up with the package layout.
+
+Fails CI when:
+
+* a package under ``src/repro/`` has no anchor section in DESIGN.md
+  (every subsystem gets a design chapter before it ships);
+* a public class re-exported in ``repro.__all__`` is missing a
+  docstring (the README points users at ``help(repro.X)``);
+* README.md's architecture map forgets a package.
+
+Run as ``PYTHONPATH=src python scripts/docs_lint.py`` from the repo root.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def repro_packages() -> list:
+    return sorted(p.name for p in SRC.iterdir()
+                  if p.is_dir() and (p / "__init__.py").exists())
+
+
+def check_design_anchors(errors: list) -> None:
+    design = (REPO / "DESIGN.md").read_text()
+    for package in repro_packages():
+        needle = f"repro.{package}"
+        if needle not in design:
+            errors.append(
+                f"DESIGN.md has no section mentioning `{needle}` — every "
+                f"src/repro/* package needs a design anchor")
+
+
+def check_readme_module_map(errors: list) -> None:
+    readme = (REPO / "README.md").read_text()
+    for package in repro_packages():
+        needle = f"repro/{package}"
+        if needle not in readme and f"repro.{package}" not in readme:
+            errors.append(
+                f"README.md's module map does not mention `{needle}`")
+
+
+def check_public_docstrings(errors: list) -> None:
+    import repro
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
+            errors.append(
+                f"repro.{name} is public (in repro.__all__) but the class "
+                f"has no docstring")
+
+
+def main() -> int:
+    errors: list = []
+    check_design_anchors(errors)
+    check_readme_module_map(errors)
+    check_public_docstrings(errors)
+    if errors:
+        for error in errors:
+            print(f"docs-lint: {error}", file=sys.stderr)
+        return 1
+    packages = ", ".join(repro_packages())
+    print(f"docs-lint ok ({packages})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

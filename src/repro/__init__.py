@@ -31,12 +31,14 @@ from repro.cluster import (Client, FaultPlan, MiniCluster, ServerConfig,
                            even_split_keys)
 from repro.lsm import Cell, KeyRange
 from repro.obs import MetricsRegistry, Tracer
+from repro.placement import PlacementConfig, PlacementManager
 from repro.sim import LatencyModel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MiniCluster", "Client", "ServerConfig", "FaultPlan",
+    "PlacementConfig", "PlacementManager",
     "IndexDescriptor", "IndexScheme", "IndexScope", "ConsistencyLevel",
     "WorkloadProfile", "recommend_scheme",
     "IndexHit", "IndexReport", "Session", "check_index",

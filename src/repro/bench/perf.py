@@ -17,16 +17,19 @@ Emits ``BENCH_pr2.json`` with, per scheme:
 plus two read-latency sections: the Figure 8 exact-match shape (K=1 —
 one index hit per query, where parallelism cannot help much) and a
 multi-match variant (K≈5 hits per query, where the sync-insert
-double-check actually overlaps its K base reads), and a ``ddl`` section:
+double-check actually overlaps its K base reads), a ``ddl`` section:
 the same mixed workload run twice — once untouched, once with an online
 CREATE INDEX injected mid-run — reporting the job's sim-time duration,
-backfill rows/sec, and the foreground p95 paid during the build.
+backfill rows/sec, and the foreground p95 paid during the build, and a
+``placement`` section: a zipfian hot-range workload on an initially
+single-region table, run with the load balancer off and on, reporting
+end-state region spread and the read-p95 the balancer buys back.
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr3.json`` in the working directory).
+  ``BENCH_pr4.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr3.json"
+DEFAULT_OUTPUT = "BENCH_pr4.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
@@ -210,6 +213,110 @@ def _ddl_section(threads: int, duration_ms: float,
     }
 
 
+def _placement_section(threads: int, duration_ms: float,
+                       record_count: int) -> Dict[str, object]:
+    """Zipfian hot-range workload (80% read / 20% update) on a table that
+    starts as ONE region: auto-split is on in both runs, but without the
+    balancer every daughter stays on the original server, so the whole
+    hot range funnels through one node's handler pool and disk.  The
+    balancer-on run spreads the daughters and buys the read p95 back."""
+    from repro.placement.manager import PlacementConfig
+    from repro.cluster.cluster import MiniCluster
+    from repro.sim.kernel import Timeout
+    from repro.sim.random import RandomStream
+    from repro.ycsb.distributions import Zipfian
+
+    def one_run(balancer_on: bool) -> Dict[str, object]:
+        cfg = PlacementConfig(max_region_bytes=32 * 1024,
+                              balancer_enabled=balancer_on,
+                              balancer_interval_ms=200.0,
+                              max_moves_per_round=2,
+                              qps_weight=0.05)
+        cluster = MiniCluster(num_servers=4, placement=cfg).start()
+        cluster.create_table("items", flush_threshold_bytes=8 * 1024)
+        client = cluster.new_client()
+
+        def key(i: int) -> bytes:
+            return f"item{i:06d}".encode()
+
+        def load():
+            for i in range(record_count):
+                yield from client.put("items", key(i),
+                                      {"v": b"v" * 16, "pad": b"x" * 64})
+        cluster.run(load())
+
+        warmup_ms = duration_ms / 5
+        measure_from = cluster.sim.now() + warmup_ms
+        end_at = measure_from + duration_ms
+        zipf = Zipfian(record_count)
+        read_lat: List[float] = []
+        counts = {"reads": 0, "updates": 0, "client_errors": 0}
+
+        def worker(wid: int):
+            rng = RandomStream(1000 + wid)
+            while cluster.sim.now() < end_at:
+                i = zipf.next_index(rng)
+                try:
+                    if rng.random() < 0.8:
+                        t0 = cluster.sim.now()
+                        yield from client.get("items", key(i))
+                        if t0 >= measure_from:
+                            read_lat.append(cluster.sim.now() - t0)
+                            counts["reads"] += 1
+                    else:
+                        yield from client.put("items", key(i),
+                                              {"v": b"u" * 16})
+                        if cluster.sim.now() >= measure_from:
+                            counts["updates"] += 1
+                except Exception:  # noqa: BLE001 - acceptance: must be 0
+                    counts["client_errors"] += 1
+
+        def drive():
+            procs = [cluster.spawn(worker(w), name=f"placement-w{w}")
+                     for w in range(threads)]
+            for proc in procs:
+                proc._waited_on = True
+            for proc in procs:
+                while not proc.future.done():
+                    yield Timeout(20.0)
+        start = time.perf_counter()
+        cluster.run(drive())
+        wall_s = time.perf_counter() - start
+        cluster.quiesce()
+
+        layout = cluster.master.layout["items"]
+        read_lat.sort()
+        p95 = read_lat[int(0.95 * (len(read_lat) - 1))] if read_lat else 0.0
+        mean = sum(read_lat) / len(read_lat) if read_lat else 0.0
+        return {
+            "balancer": balancer_on,
+            "read_mean_ms": round(mean, 3),
+            "read_p95_ms": round(p95, 3),
+            "reads": counts["reads"],
+            "updates": counts["updates"],
+            "client_errors": counts["client_errors"],
+            "regions_end": len(layout),
+            "servers_used": len({info.server_name for info in layout}),
+            "splits": int(cluster.placement.obs_splits.value),
+            "moves": int(cluster.placement.obs_moves.value),
+            "route_refreshes": client.route_refreshes,
+            "wall_seconds": round(wall_s, 3),
+        }
+
+    off = one_run(balancer_on=False)
+    on = one_run(balancer_on=True)
+    return {
+        "threads": threads,
+        "records": record_count,
+        "duration_ms": duration_ms,
+        "balancer_off": off,
+        "balancer_on": on,
+        # Headline number: the hot-range read p95 the balancer buys back.
+        "p95_improvement_ms": round(
+            off["read_p95_ms"] - on["read_p95_ms"], 3),
+    }
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -223,7 +330,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     record_count = 1500 if quick else 2000
 
     report: Dict[str, object] = {
-        "bench": "pr3-online-ddl-perf-baseline",
+        "bench": "pr4-placement-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count},
@@ -240,6 +347,11 @@ def run_perf_baseline(quick: Optional[bool] = None,
         probe, duration_ms, record_count,
         title_cardinality=record_count // 5)
     report["ddl"] = _ddl_section(threads[0], duration_ms, record_count)
+    # Enough closed-loop workers to overrun ONE server's handler pool
+    # (10 slots) but not four — that contention gap is what the balancer
+    # recovers, and what the p95 comparison is measuring.
+    report["placement"] = _placement_section(max(24, threads[-1]),
+                                             duration_ms, record_count)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -277,4 +389,14 @@ def render_perf_report(report: Dict[str, object]) -> str:
             f"{ddl['with_online_create']['sim_p95_ms']:.2f} ms "
             f"(impact {ddl['foreground_p95_impact_ms']:+.2f} ms), "
             f"consistent={job['index_consistent']}")
+    placement = report.get("placement")
+    if placement:
+        on, off = placement["balancer_on"], placement["balancer_off"]
+        lines.append(
+            f"  placement: {off['regions_end']} regions unbalanced p95 "
+            f"{off['read_p95_ms']:.2f} ms -> {on['regions_end']} regions on "
+            f"{on['servers_used']} servers p95 {on['read_p95_ms']:.2f} ms "
+            f"({placement['p95_improvement_ms']:+.2f} ms, "
+            f"{on['splits']} splits, {on['moves']} moves, "
+            f"errors={off['client_errors'] + on['client_errors']})")
     return "\n".join(lines)

@@ -36,6 +36,12 @@ __all__ = ["Client"]
 
 
 class Client:
+    """A Diff-Index client: cached partition map with refresh-and-retry
+    routing, CRUD, scatter-gather multiget/scan, ``getByIndex``, and
+    session-consistency bookkeeping.  Routing is by key range and server
+    name only — never region name — so splits and migrations are
+    absorbed by an ordinary :meth:`refresh_layout`."""
+
     def __init__(self, cluster: "MiniCluster", name: str = "client",
                  max_route_retries: int = 60, retry_backoff_ms: float = 50.0,
                  max_fanout: int = 16):
@@ -52,6 +58,10 @@ class Client:
         # state, K round trips instead of ~1).
         self.parallel_double_check = True
         self._layout = cluster.master.snapshot_layout()
+        # The master epoch this cache was copied at: cheap staleness probe
+        # (`client.layout_epoch == master.routing_epoch`) without diffing
+        # the partition map.
+        self.layout_epoch = cluster.master.routing_epoch
         self._sessions: Dict[str, Session] = {}
         self.route_refreshes = 0
 
@@ -59,6 +69,7 @@ class Client:
 
     def refresh_layout(self) -> None:
         self._layout = self.cluster.master.snapshot_layout()
+        self.layout_epoch = self.cluster.master.routing_epoch
         self.route_refreshes += 1
 
     def _locate(self, table: str, row: bytes) -> "RegionInfo":

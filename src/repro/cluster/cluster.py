@@ -10,7 +10,8 @@ sampling, flush-protocol ablations.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import (Any, Dict, Generator, List, Optional, Tuple,
+                    TYPE_CHECKING)
 
 from repro.errors import NoSuchIndexError, SimulationError
 from repro.core.index import (IndexDescriptor, IndexState,
@@ -32,17 +33,27 @@ from repro.sim.kernel import Process, Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.random import SeedFactory
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.placement.manager import PlacementConfig
+
 __all__ = ["MiniCluster"]
 
 
 class MiniCluster:
+    """The whole simulated store: simulator, SimHDFS, network, master,
+    coordinator, placement manager, DDL manager and N region servers,
+    plus the operator facade (``create_table`` / ``create_index`` /
+    ``kill_server`` / ``quiesce`` / ``advance``) that tests and
+    benchmarks drive."""
+
     def __init__(self, num_servers: int = 4,
                  model: Optional[LatencyModel] = None,
                  server_config: Optional[ServerConfig] = None,
                  seed: int = 42,
                  staleness_sample_rate: float = 1.0,
                  fault_plan: Optional[FaultPlan] = None,
-                 heartbeat_timeout_ms: float = 2000.0):
+                 heartbeat_timeout_ms: float = 2000.0,
+                 placement: Optional["PlacementConfig"] = None):
         self.sim = Simulator()
         self.model = model or LatencyModel()
         self.seeds = SeedFactory(seed)
@@ -89,6 +100,8 @@ class MiniCluster:
         self.index_by_table: Dict[str, IndexDescriptor] = {}
         from repro.ddl.manager import DdlManager  # deferred: import cycle
         self.ddl = DdlManager(self)
+        from repro.placement.manager import PlacementManager  # deferred
+        self.placement = PlacementManager(self, placement)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -97,6 +110,7 @@ class MiniCluster:
             for server in self.servers.values():
                 server.start()
             self.coordinator.start()
+            self.placement.start()
             self._started = True
         return self
 

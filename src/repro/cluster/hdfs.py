@@ -78,6 +78,16 @@ class SimHDFS:
     def store_files(self, table: str, region: str) -> List[SSTable]:
         return list(self._stores.get((table, region), []))
 
+    def copy_store_files(self, table: str, src_region: str,
+                         dst_regions: List[str]) -> List[SSTable]:
+        """Link one region's store files under other regions — the HBase
+        reference-file analogue of a split: daughters point at the
+        parent's files, no data is rewritten.  Returns the linked files."""
+        files = self.store_files(table, src_region)
+        for dst in dst_regions:
+            self._stores[(table, dst)] = list(files)
+        return files
+
     def delete_store(self, table: str, region: str) -> None:
         self._stores.pop((table, region), None)
 

@@ -39,6 +39,10 @@ class Master:
         self.tables: Dict[str, TableDescriptor] = {}
         # Layout per table, sorted by region start key.
         self.layout: Dict[str, List[RegionInfo]] = {}
+        # Bumped on every layout change (create/drop/split/move) so a
+        # client can tell whether its cached partition map is current
+        # without diffing it (see Client.layout_epoch).
+        self.routing_epoch = 0
         self._region_seq = 0
         self._placement_cursor = 0
 
@@ -61,6 +65,7 @@ class Master:
             infos.append(info)
         self.tables[descriptor.name] = descriptor
         self.layout[descriptor.name] = infos
+        self.routing_epoch += 1
         return infos
 
     def drop_table(self, name: str) -> None:
@@ -72,6 +77,7 @@ class Master:
             if server is not None:
                 server.remove_region(info.region_name)
             self.cluster.hdfs.delete_store(name, info.region_name)
+        self.routing_epoch += 1
 
     def _next_server(self) -> "RegionServer":
         alive = [s for s in self.cluster.servers.values() if s.alive]
@@ -90,6 +96,12 @@ class Master:
                         seed=self._region_seq)
         server.add_region(region)
         return RegionInfo(region_name, descriptor.name, key_range, server.name)
+
+    def new_region_name(self, table: str) -> str:
+        """Allocate a region name for the placement layer (split daughters
+        share the table-wide sequence, so names never collide)."""
+        self._region_seq += 1
+        return f"{table},r{self._region_seq:04d}"
 
     # -- catalog ------------------------------------------------------------
 
@@ -123,8 +135,31 @@ class Master:
         return [info for infos in self.layout.values() for info in infos
                 if info.server_name == server_name]
 
+    def region_info(self, table: str, region_name: str,
+                    ) -> Optional[RegionInfo]:
+        """The layout's own record for a region, or None if it is gone
+        (split away, or table dropped).  Identity matters: mutations via
+        :meth:`reassign` / :meth:`replace_with_daughters` must act on the
+        live object, not a snapshot copy."""
+        for info in self.layout.get(table, []):
+            if info.region_name == region_name:
+                return info
+        return None
+
     def reassign(self, info: RegionInfo, new_server_name: str) -> None:
         info.server_name = new_server_name
+        self.routing_epoch += 1
+
+    def replace_with_daughters(self, parent: RegionInfo,
+                               daughters: List[RegionInfo]) -> None:
+        """Split commit: swap the parent's layout slot for its daughters
+        in one step.  The daughters cover exactly the parent's range, so
+        sort order and contiguity are preserved by construction."""
+        infos = self.layout[parent.table]
+        idx = next(i for i, info in enumerate(infos)
+                   if info.region_name == parent.region_name)
+        infos[idx:idx + 1] = list(daughters)
+        self.routing_epoch += 1
 
     def snapshot_layout(self) -> Dict[str, List[RegionInfo]]:
         """A client-cacheable copy of the partition map."""

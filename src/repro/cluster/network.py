@@ -26,8 +26,21 @@ class FaultPlan:
 
     def __init__(self, fail_probability: float = 0.0,
                  rng: Optional[RandomStream] = None):
-        self.fail_probability = fail_probability
+        self.set_probability(fail_probability)
         self._rng = rng or RandomStream(0)
+
+    def set_probability(self, fail_probability: float) -> None:
+        """Retune the failure rate mid-run (a test turning chaos on for
+        one phase and off for verification)."""
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ValueError(
+                f"fail_probability must be in [0, 1], "
+                f"got {fail_probability!r}")
+        self.fail_probability = fail_probability
+
+    def disable(self) -> None:
+        """Stop injecting failures (equivalent to ``set_probability(0)``)."""
+        self.fail_probability = 0.0
 
     def should_fail(self) -> bool:
         return (self.fail_probability > 0.0

@@ -121,4 +121,11 @@ def _pick_target(cluster: "MiniCluster", dead: "RegionServer",
     if not candidates:
         raise RuntimeError("no live server available for recovery")
     # Least-loaded placement keeps the post-recovery layout balanced.
+    # The placement manager's score folds in recent per-region request
+    # rates, so recovery and the balancer agree on what "loaded" means
+    # and don't immediately undo each other's work.
+    placement = getattr(cluster, "placement", None)
+    if placement is not None:
+        return min(candidates,
+                   key=lambda s: (placement.score_server(s), s.name))
     return min(candidates, key=lambda s: len(s.regions))

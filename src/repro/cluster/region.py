@@ -20,7 +20,7 @@ from repro.errors import SimulationError
 from repro.lsm.cache import BlockCache
 from repro.lsm.compaction import CompactionPolicy
 from repro.lsm.tree import LSMConfig, LSMTree, ReadStats
-from repro.lsm.types import Cell, KeyRange
+from repro.lsm.types import Cell, KeyRange, cell_size
 from repro.cluster.table import TableDescriptor
 from repro.sim.kernel import Future, Simulator
 
@@ -93,12 +93,73 @@ class Region:
         self.tree = LSMTree(name=name, config=config, cache=cache, seed=seed)
         self.locks = RowLocks()
         self.flushing = False
+        # Set while a split/migration close is in progress: writes are
+        # rejected (stale-route retry) but reads keep serving — the APS
+        # must still be able to plan against this region or the close's
+        # own drain-before-flush would deadlock.
+        self.closing = False
+        # Request accounting for the placement layer: reset implicitly when
+        # a region object is recreated (move/recovery) — the balancer clamps
+        # on delta, so a reset reads as a quiet interval, never as negative.
+        self.reads = 0
+        self.writes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Region {self.name} {self.key_range!r}>"
 
     def contains_row(self, row: bytes) -> bool:
         return self.key_range.contains(row)
+
+    # -- placement accounting --------------------------------------------------
+
+    def note_read(self) -> None:
+        self.reads += 1
+
+    def note_write(self) -> None:
+        self.writes += 1
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    def owned_bytes(self) -> int:
+        """Approximate bytes of visible data INSIDE this region's key
+        range.  ``tree.total_bytes`` would overcount after a split: both
+        daughters adopt the parent's full store files (the reference-file
+        analogue), so raw file size stays at the parent's size until a
+        compaction — and a split policy keyed on it would cascade."""
+        return sum(cell_size(cell)
+                   for cell in self.tree.scan(KeyRange(self.key_range.start,
+                                                       self.key_range.end)))
+
+    def split_point(self, min_distinct: int = 2) -> Optional[bytes]:
+        """Midpoint-of-keys split policy: the median distinct routable key,
+        or None if the region holds too few distinct keys to cut.
+
+        For base tables the routable key is the ROW (cells compose
+        ``row ⊕ 0x00 ⊕ qualifier``; reserved leading-0x00 keys are local-
+        index entries and not routable); index tables route on the raw
+        cell key.  The returned key is strictly inside ``key_range`` —
+        ``keys`` is strictly increasing, so with ≥ 2 entries the median
+        exceeds ``keys[0] ≥ key_range.start``, and every key scanned is
+        below ``key_range.end``.
+        """
+        keys: List[bytes] = []
+        last: Optional[bytes] = None
+        for cell in self.tree.scan(KeyRange(self.key_range.start,
+                                            self.key_range.end)):
+            if self.table.is_index:
+                key = cell.key
+            else:
+                if cell.key.startswith(_SEP):
+                    continue
+                key = split_cell_key(cell.key)[0]
+            if key != last:
+                keys.append(key)
+                last = key
+        if len(keys) < max(min_distinct, 2):
+            return None
+        return keys[len(keys) // 2]
 
     # -- row-level reads (pure; server charges the ReadStats) -----------------
 

@@ -168,6 +168,35 @@ class RegionServer:
     def remove_region(self, region_name: str) -> Optional[Region]:
         return self.regions.pop(region_name, None)
 
+    def handle_split_close(self, table: str, region_name: str,
+                           ) -> Generator[Any, Any, None]:
+        """Close a region for a split or migration: stop serving it, wait
+        out in-flight row work, then flush and roll the WAL so the durable
+        store files are the COMPLETE region image.
+
+        Idempotent: a region this server no longer hosts reports success —
+        a previous close attempt (possibly by a runner that crashed before
+        committing) already did the work, and the resumed runner must be
+        able to proceed to the commit.
+
+        The region stays hosted and readable while ``closing`` is set:
+        only writes are rejected (stale-route retry).  Reads MUST keep
+        serving — the drain inside :meth:`flush_region` needs the APS to
+        plan base reads against this very region, and removing it outright
+        would deadlock the close against its own drain."""
+        self._check_alive()
+        region = self.regions.get(region_name)
+        if region is None or region.table.name != table:
+            return
+        region.closing = True
+        try:
+            while region.locks.held or region.flushing:
+                yield Timeout(1.0)
+            yield from self.flush_region(region)
+        except BaseException:
+            region.closing = False   # reopen rather than strand the range
+            raise
+
     def region_for(self, table: str, row: bytes) -> Optional[Region]:
         for region in self.regions.values():
             if region.table.name == table and region.contains_row(row):
@@ -179,6 +208,17 @@ class RegionServer:
         if region is None:
             raise NoSuchRegionError(
                 f"{self.name} hosts no region of {table!r} for {row!r}")
+        return region
+
+    def _require_open_region(self, table: str, row: bytes) -> Region:
+        """Like :meth:`_require_region` but for WRITE paths: a region that
+        is closing for a split/migration rejects new writes so the close's
+        lock-drain terminates; the caller retries after a layout refresh."""
+        region = self._require_region(table, row)
+        if region.closing:
+            raise NoSuchRegionError(
+                f"region {region.name} on {self.name} is closing "
+                f"for a split/migration")
         return region
 
     def _check_alive(self) -> None:
@@ -225,6 +265,7 @@ class RegionServer:
                        columns: Optional[List[str]], max_ts: Optional[int],
                        background: bool,
                        ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        region.note_read()
         stats = ReadStats()
         result = region.read_row(row, columns, max_ts=max_ts, stats=stats)
         yield from self.charge_read(stats)
@@ -314,7 +355,8 @@ class RegionServer:
     def _put_body(self, table: str, row: bytes, values: Dict[str, bytes],
                   return_old: bool,
                   ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
-        region = self._require_region(table, row)
+        region = self._require_open_region(table, row)
+        region.note_write()
         descriptor = region.table
         model = self.cluster.model
         yield region.locks.acquire(row)
@@ -376,7 +418,8 @@ class RegionServer:
     def _delete_body(self, table: str, row: bytes, columns: List[str],
                      return_old: bool,
                      ) -> Generator[Any, Any, Tuple[int, Optional[Dict]]]:
-        region = self._require_region(table, row)
+        region = self._require_open_region(table, row)
+        region.note_write()
         descriptor = region.table
         model = self.cluster.model
         yield region.locks.acquire(row)
@@ -471,8 +514,11 @@ class RegionServer:
         if not regions:
             raise NoSuchRegionError(
                 f"{self.name} hosts no region of {table!r} in {key_range!r}")
+        regions.sort(key=lambda r: r.key_range.start)
+        self._check_scan_coverage(table, regions, key_range)
         out: List[Cell] = []
-        for region in sorted(regions, key=lambda r: r.key_range.start):
+        for region in regions:
+            region.note_read()
             stats = ReadStats()
             cells = region.scan_rows(key_range, limit=limit, max_ts=max_ts,
                                      stats=stats)
@@ -487,6 +533,26 @@ class RegionServer:
             self.cluster.counters.incr("base_read")
         return out
 
+    def _check_scan_coverage(self, table: str, regions: List[Region],
+                             key_range: KeyRange) -> None:
+        """The hosted regions (sorted by start) must cover the WHOLE scan
+        range: after a split or migration a slice may have moved to another
+        server, and a silently partial result would corrupt the caller's
+        merge.  Raising NoSuchRegionError instead routes the caller into
+        its refresh-and-retry path."""
+        cursor = key_range.start
+        for region in regions:
+            if region.key_range.start > cursor:
+                break
+            if region.key_range.end is None:
+                return
+            cursor = max(cursor, region.key_range.end)
+            if key_range.end is not None and cursor >= key_range.end:
+                return
+        raise NoSuchRegionError(
+            f"{self.name} no longer hosts all of {table!r} {key_range!r} "
+            f"(covered up to {cursor!r})")
+
     # -- index-table operations ---------------------------------------------------
 
     def handle_index_put(self, table: str, index_key: bytes, ts: int,
@@ -497,7 +563,8 @@ class RegionServer:
             pool=self.index_handlers)
 
     def _index_put_body(self, table, index_key, ts, background):
-        region = self._require_region(table, index_key)
+        region = self._require_open_region(table, index_key)
+        region.note_write()
         model = self.cluster.model
         record = self.wal.append(region.name, table,
                                  (Cell(index_key, ts, b""),))
@@ -515,7 +582,8 @@ class RegionServer:
             pool=self.index_handlers)
 
     def _index_delete_body(self, table, index_key, ts, background):
-        region = self._require_region(table, index_key)
+        region = self._require_open_region(table, index_key)
+        region.note_write()
         model = self.cluster.model
         record = self.wal.append(region.name, table,
                                  (Cell(index_key, ts, None),))
@@ -552,7 +620,8 @@ class RegionServer:
                 live = self.cluster.index_by_table.get(table)
                 if live is None or live.created_epoch != op[4]:
                     continue
-            region = self._require_region(table, key)
+            region = self._require_open_region(table, key)
+            region.note_write()
             value = b"" if kind == "put" else None
             cell = Cell(key, ts, value)
             record = self.wal.append(region.name, table, (cell,))
@@ -608,6 +677,7 @@ class RegionServer:
             raise NoSuchRegionError(
                 f"{self.name} hosts no region of {table!r}")
         for region in sorted(regions, key=lambda r: r.key_range.start):
+            region.note_read()
             stats = ReadStats()
             cells = region.tree.scan(reserved, limit=limit, stats=stats)
             yield Timeout(self.cluster.model._v(
@@ -649,7 +719,10 @@ class RegionServer:
         try:
             yield from maintain_indexes(self.op_context, task,
                                         background=True, insert_first=False)
-        except RpcError:
+        except (NoSuchRegionError, RpcError):
+            # NoSuchRegionError: the target index region moved (split or
+            # migration) between locate and delivery — same retry story as
+            # a lost RPC.
             self.auq.put(task)
             self.obs_auq_depth.set(len(self.auq))
             return
@@ -680,6 +753,7 @@ class RegionServer:
             yield Timeout(self.config.maintenance_interval_ms)
             if not self.alive:
                 return
+            placement = getattr(self.cluster, "placement", None)
             for region in list(self.regions.values()):
                 if not self.alive:
                     return
@@ -687,6 +761,10 @@ class RegionServer:
                     yield from self.flush_region(region)
                 if region.tree.needs_compaction:
                     yield from self.compact_region(region)
+                if placement is not None and region.name in self.regions:
+                    # Split-policy check (synchronous: submits a master-
+                    # side job at most; the close comes back as an RPC).
+                    placement.consider_split(self, region)
 
     def flush_region(self, region: Region) -> Generator[Any, Any, None]:
         """The §5.3 flush protocol: 1. pause & drain, 2. flush, 3. roll WAL."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import RpcError
+from repro.errors import NoSuchRegionError, RpcError
 from repro.core.index import extract_index_values, row_index_key
 from repro.core.schemes import IndexScheme
 from repro.lsm.types import DELTA_MS
@@ -354,7 +354,10 @@ def _process_batch(server: Any, ctx: "IndexOpContext",
             try:
                 yield from ctx.index_ops_batch(target, ops)
                 break
-            except RpcError:
+            except (NoSuchRegionError, RpcError):
+                # NoSuchRegionError surfaces raw from a live server whose
+                # region moved or split away mid-delivery (stale route);
+                # the re-locate below picks up the new owner.
                 server.aps_retries += 1
                 server.obs_aps_retries.inc()
                 yield Timeout(backoff)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Generator, Tuple, TYPE_CHECKING
 
-from repro.errors import RpcError
+from repro.errors import NoSuchRegionError, RpcError
 from repro.core.auq import IndexTask, maintain_indexes, maintain_insert_only
 from repro.core.coprocessor import RegionObserver
 from repro.core.schemes import IndexScheme
@@ -67,7 +67,10 @@ class SyncFullObserver(RegionObserver):
             yield from maintain_indexes(server.op_context, task,
                                         background=False, insert_first=True,
                                         span=obs)
-        except RpcError:
+        except (NoSuchRegionError, RpcError):
+            # Stale route from a concurrent split/move counts as a
+            # transient failure: hand the task to the AUQ, whose retry
+            # loop re-resolves the owner.
             server.degrade_to_auq(task)
         finally:
             obs.end()
@@ -106,7 +109,7 @@ class SyncInsertObserver(RegionObserver):
                                   server=server.name)
         try:
             yield from maintain_insert_only(server.op_context, task, span=obs)
-        except RpcError:
+        except (NoSuchRegionError, RpcError):
             server.degrade_to_auq(task)
         finally:
             obs.end()

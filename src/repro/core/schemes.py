@@ -16,6 +16,10 @@ __all__ = ["IndexScheme", "ConsistencyLevel", "WorkloadProfile",
 
 
 class IndexScheme(enum.Enum):
+    """The paper's four differentiated maintenance schemes (§4–§5):
+    sync-full, sync-insert, async-simple and async-session — the
+    consistency/latency trade-off an index is created with."""
+
     SYNC_FULL = "sync-full"
     SYNC_INSERT = "sync-insert"
     ASYNC_SIMPLE = "async-simple"

@@ -41,6 +41,10 @@ class SessionEntry:
 
 
 class Session:
+    """Client-side session-consistency state (§5.2): the private cache of
+    this session's own index updates, merged into reads so a writer sees
+    its writes while async maintenance is still in flight."""
+
     def __init__(self, created_at: float,
                  max_duration_ms: float = DEFAULT_SESSION_DURATION_MS,
                  memory_limit_entries: int = 100_000):

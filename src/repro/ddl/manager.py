@@ -159,6 +159,38 @@ class DdlManager:
             resumed.append(job)
         return resumed
 
+    def on_region_split(self, table: str, parent_name: str,
+                        daughters: List["RegionInfo"]) -> None:
+        """Placement-commit hook: migrate any in-flight job's scan cursor
+        from a split-away parent region onto its daughters.
+
+        Cursor entries exist only for regions a job has already touched
+        (``<done>`` or a resume row); an untouched pending region needs
+        nothing — ``_chunk_rounds`` re-reads the layout every round and
+        will scan the daughters from their own start keys.  Chunk scans
+        are snapshot-bounded and entries carry base timestamps, so even a
+        conservative hand-off (re-covering rows) would be idempotent; this
+        hand-off is exact: each daughter inherits the parent's progress
+        clamped to its own key range."""
+        for job in list(self.jobs.values()):
+            if job.is_terminal or parent_name not in job.cursors:
+                continue
+            done = job.region_done(parent_name)
+            cursor = None if done else job.region_cursor(parent_name)
+            for info in daughters:
+                if done:
+                    job.mark_region_done(info.region_name)
+                    continue
+                start, end = info.key_range.start, info.key_range.end
+                if cursor is not None and end is not None and cursor >= end:
+                    job.mark_region_done(info.region_name)
+                elif cursor is not None and cursor > start:
+                    job.set_region_cursor(info.region_name, cursor)
+                # else: this daughter is untouched — no entry, scans from
+                # its own start.
+            del job.cursors[parent_name]
+            self.catalog.save(job)
+
     # -- runner -------------------------------------------------------------
 
     def _descriptor(self, job: DdlJob) -> Optional[IndexDescriptor]:

@@ -87,6 +87,10 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
+    """Span factory and ring buffer: one per cluster, timestamps from the
+    simulator clock, span durations mirrored into the metrics registry
+    as ``span_ms{op=}`` histograms."""
+
     def __init__(self, clock: Callable[[], float],
                  registry: Optional[MetricsRegistry] = None,
                  max_spans: int = 20_000, enabled: bool = True):

@@ -1,0 +1,11 @@
+"""Region placement: automatic splits and load-balanced migrations.
+
+See DESIGN.md §10 for the split state machine, the balancer scoring
+formula and the routing-epoch invalidation protocol.
+"""
+
+from repro.placement.jobs import SplitCatalog, SplitJob, SplitPhase
+from repro.placement.manager import PlacementConfig, PlacementManager
+
+__all__ = ["PlacementConfig", "PlacementManager", "SplitJob", "SplitPhase",
+           "SplitCatalog"]

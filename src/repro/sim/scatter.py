@@ -58,18 +58,22 @@ def scatter_gather(sim: Simulator, thunks: Iterable[Thunk],
     coroutine; laziness is what lets the fan-out stay bounded — a queued
     thunk costs nothing until admitted.  With ``metrics`` (a
     ``MetricsRegistry``) and ``site`` set, the call records its fan-out
-    width in ``scatter_fanout{site=}`` and its total gather latency in
-    ``scatter_gather_ms{site=}``.
+    width in ``scatter_fanout{site=}``, its total gather latency in
+    ``scatter_gather_ms{site=}``, and every thunk that completed with an
+    exception in ``scatter_errors{site=}`` — the per-site error counter
+    makes stale-route churn (splits, migrations, recovery) visible per
+    fan-out path.
     """
     thunks = list(thunks)
     total = len(thunks)
     result = Future()
 
-    width_hist = latency_hist = None
+    width_hist = latency_hist = error_counter = None
     if metrics is not None and site is not None:
         width_hist = metrics.histogram("scatter_fanout",
                                        bounds=FANOUT_BUCKETS, site=site)
         latency_hist = metrics.histogram("scatter_gather_ms", site=site)
+        error_counter = metrics.counter("scatter_errors", site=site)
     start = sim.now()
 
     if total == 0:
@@ -99,6 +103,8 @@ def scatter_gather(sim: Simulator, thunks: Iterable[Thunk],
         if result.done():
             return  # fail-fast already resolved; sibling just drains
         exc = future.exception()
+        if exc is not None and error_counter is not None:
+            error_counter.inc()
         if exc is not None and not collect_errors:
             state["failed"] = True
             result.set_exception(exc)

@@ -154,3 +154,65 @@ def test_crash_at_random_point_mid_history(history, data):
     cluster.quiesce()
     report = check_index(cluster, "ix")
     assert report.is_consistent, (history, split, victim, report)
+
+
+# -- placement churn (DESIGN.md §10) ----------------------------------------
+
+
+@relaxed
+@given(ops_strategy, st.data())
+def test_placement_churn_preserves_consistency(history, data):
+    """Random interleaving of puts/deletes with region splits, live
+    migrations and one server crash: for every scheme the index converges
+    (sync-insert: never missing), and the layout stays contiguous with
+    every region hosted on a live server."""
+    from repro import PlacementConfig
+    from repro.errors import NoSuchRegionError
+    from tests.test_placement import assert_layout_contiguous
+
+    scheme = data.draw(st.sampled_from(list(IndexScheme)), label="scheme")
+    cluster = MiniCluster(num_servers=3,
+                          placement=PlacementConfig()).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",), scheme=scheme))
+    client = cluster.new_client()
+    killed = None
+
+    for i, (row_idx, value_idx) in enumerate(history):
+        if value_idx is None:
+            cluster.run(client.delete("t", ROWS[row_idx], columns=["c"]))
+        else:
+            cluster.run(client.put("t", ROWS[row_idx],
+                                   {"c": VALUES[value_idx]}))
+        action = data.draw(st.integers(0, 5), label=f"action{i}")
+        infos = [info for infos in cluster.master.layout.values()
+                 for info in infos]
+        if action == 0 and infos:
+            target = infos[data.draw(st.integers(0, len(infos) - 1))]
+            try:
+                cluster.placement.request_split(target.table,
+                                                target.region_name)
+            except (ValueError, NoSuchRegionError):
+                pass  # too few keys / already busy — churn op is a no-op
+        elif action == 1 and infos:
+            target = infos[data.draw(st.integers(0, len(infos) - 1))]
+            dest = data.draw(st.sampled_from(sorted(cluster.servers)))
+            cluster.run(cluster.placement.move_region(
+                target.table, target.region_name, dest))
+        elif action == 2 and killed is None and len(history) > 2:
+            killed = sorted(cluster.servers)[
+                data.draw(st.integers(0, 2), label="victim")]
+            cluster.kill_server(killed)
+
+    if killed is not None:
+        while killed not in cluster.coordinator.recoveries_completed:
+            cluster.advance(200.0)
+    for job in list(cluster.placement.jobs.values()):
+        cluster.run(job.wait())
+    cluster.quiesce()
+    assert_layout_contiguous(cluster)
+    report = check_index(cluster, "ix")
+    if scheme is IndexScheme.SYNC_INSERT:
+        assert not report.missing, (history, scheme, report)
+    else:
+        assert report.is_consistent, (history, scheme, report)

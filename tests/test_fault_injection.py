@@ -46,7 +46,7 @@ def test_sync_full_degrades_but_converges():
     _client, completed = run_workload(cluster, n=60)
     assert completed > 0
     # Disable faults so retries can land, then drain.
-    cluster.network.faults.fail_probability = 0.0
+    cluster.network.faults.disable()
     cluster.quiesce()
     report = check_index(cluster, "ix")
     assert report.is_consistent, report
@@ -56,7 +56,7 @@ def test_sync_full_degrades_but_converges():
 def test_sync_insert_degrades_but_never_misses():
     cluster = build(0.08, scheme=IndexScheme.SYNC_INSERT)
     run_workload(cluster, n=60)
-    cluster.network.faults.fail_probability = 0.0
+    cluster.network.faults.disable()
     cluster.quiesce()
     report = check_index(cluster, "ix")
     assert not report.missing   # stale is allowed for sync-insert
@@ -66,7 +66,7 @@ def test_async_retries_ride_through_faults():
     """The APS retries with backoff until delivery succeeds."""
     cluster = build(0.15, scheme=IndexScheme.ASYNC_SIMPLE)
     run_workload(cluster, n=40)
-    cluster.network.faults.fail_probability = 0.0
+    cluster.network.faults.disable()
     cluster.quiesce()
     report = check_index(cluster, "ix")
     assert report.is_consistent, report
