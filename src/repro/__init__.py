@@ -27,7 +27,8 @@ from repro.core import (ConsistencyLevel, IndexDescriptor, IndexHit,
                         WorkloadProfile,
                         check_index, encode_value, decode_value,
                         recommend_scheme)
-from repro.cluster import (Client, FaultPlan, MiniCluster, ServerConfig,
+from repro.cluster import (Client, FaultPlan, MiniCluster,
+                           MutationBatch, ServerConfig,
                            even_split_keys)
 from repro.lsm import Cell, KeyRange
 from repro.obs import MetricsRegistry, Tracer
@@ -37,7 +38,7 @@ from repro.sim import LatencyModel
 __version__ = "1.0.0"
 
 __all__ = [
-    "MiniCluster", "Client", "ServerConfig", "FaultPlan",
+    "MiniCluster", "Client", "MutationBatch", "ServerConfig", "FaultPlan",
     "PlacementConfig", "PlacementManager",
     "IndexDescriptor", "IndexScheme", "IndexScope", "ConsistencyLevel",
     "WorkloadProfile", "recommend_scheme",

@@ -27,9 +27,17 @@ end-state region spread and the read-p95 the balancer buys back.
 
 Environment:
 
+plus a ``batch`` section A/B-ing the batched foreground write path:
+fresh-row inserts per scheme at batch widths 1 / 8 / 32 through
+``Client.batch_put``, reporting sim-time rows/sec, the observed WAL
+group-commit widths, and block-cache hit rates — the §8.2 batching win
+measured on the foreground path.
+
+Environment:
+
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr4.json`` in the working directory).
+  ``BENCH_pr5.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr4.json"
+DEFAULT_OUTPUT = "BENCH_pr5.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
@@ -317,6 +325,70 @@ def _placement_section(threads: int, duration_ms: float,
     }
 
 
+def _batch_section(record_count: int, rows: int,
+                   batch_sizes=(1, 8, 32)) -> Dict[str, object]:
+    """A/B the batched foreground write path: one client inserts ``rows``
+    FRESH rows per scheme at each batch width through ``batch_put``
+    (width 1 degenerates to the classic one-row multi_put, so the sweep
+    isolates the group-commit + coalesced-maintenance win, not RPC-path
+    differences).  Sim-time rows/sec is the acceptance number: sync-full
+    at width 32 must beat width 1 by >= 2x."""
+    from repro.sim.random import RandomStream
+    section: Dict[str, object] = {"batch_sizes": list(batch_sizes),
+                                  "rows": rows, "schemes": {}}
+    for label in _SCHEMES:
+        per_width: List[Dict[str, object]] = []
+        for width in batch_sizes:
+            exp = Experiment(ExperimentConfig(
+                record_count=record_count,
+                title_cardinality=record_count // 5,
+                scheme_label=label))
+            cluster = exp.cluster
+            client = cluster.new_client("batch-bench")
+            rng = RandomStream(exp.config.seed + width)
+            # Fresh keys beyond the loaded dataset: every insert is a
+            # first write, so sync-full pays its full PI+RB+DI bill.
+            items = [(exp.schema.rowkey(record_count + i),
+                      exp.schema.row_values(record_count + i, rng))
+                     for i in range(rows)]
+
+            def drive():
+                for at in range(0, len(items), width):
+                    yield from client.batch_put(exp.TABLE,
+                                                items[at:at + width])
+
+            sim0 = cluster.sim.now()
+            start = time.perf_counter()
+            cluster.run(drive(), name="batch-bench")
+            wall_s = time.perf_counter() - start
+            sim_ms = cluster.sim.now() - sim0
+
+            metrics = cluster.metrics
+            group = metrics.merged_histogram("wal_group_commit_size")
+            hits = metrics.total("block_cache_hits")
+            misses = metrics.total("block_cache_misses")
+            per_width.append({
+                "batch_size": width,
+                "rows": rows,
+                "sim_ms": round(sim_ms, 3),
+                "sim_rows_per_sec": round(rows / (sim_ms / 1000.0), 1)
+                if sim_ms else 0.0,
+                "wall_seconds": round(wall_s, 3),
+                "wal_group_mean": round(group.mean(), 2) if group else 0.0,
+                "wal_group_max": group.max if group else 0,
+                "block_cache_hits": int(hits),
+                "block_cache_misses": int(misses),
+                "block_cache_hit_rate": round(
+                    hits / (hits + misses), 4) if (hits + misses) else 0.0,
+            })
+        entry: Dict[str, object] = {"runs": per_width}
+        base = per_width[0]["sim_rows_per_sec"]
+        top = per_width[-1]["sim_rows_per_sec"]
+        entry["speedup_widest_vs_1"] = round(top / base, 2) if base else 0.0
+        section["schemes"][label] = entry
+    return section
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -329,16 +401,20 @@ def run_perf_baseline(quick: Optional[bool] = None,
     duration_ms = 800.0 if quick else 1500.0
     record_count = 1500 if quick else 2000
 
+    batch_rows = 320 if quick else 960
+
     report: Dict[str, object] = {
-        "bench": "pr4-placement-perf-baseline",
+        "bench": "pr5-batched-write-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
-                   "record_count": record_count},
+                   "record_count": record_count, "batch_rows": batch_rows},
         "mixed_workload": {},
     }
     for label in _SCHEMES:
         report["mixed_workload"][label] = [
             _mixed_run(label, n, duration_ms, record_count) for n in threads]
+
+    report["batch"] = _batch_section(record_count, batch_rows)
 
     probe = threads[-1]
     report["read_latency_exact_match_k1"] = _read_latency_section(
@@ -378,6 +454,17 @@ def render_perf_report(report: Dict[str, object]) -> str:
                 f"    {label:>7} sim mean {stats['sim_mean_ms']:.2f} ms "
                 f"p95 {stats['sim_p95_ms']:.2f} ms "
                 f"({stats['sim_throughput_tps']:.0f} tps)")
+    batch = report.get("batch")
+    if batch:
+        lines.append("  batch (fresh-row inserts, sim rows/s by width):")
+        for label, entry in sorted(batch["schemes"].items()):
+            widths = " ".join(
+                f"x{run['batch_size']}={run['sim_rows_per_sec']:.0f}"
+                for run in entry["runs"])
+            lines.append(
+                f"    {label:>7} {widths} "
+                f"(speedup {entry['speedup_widest_vs_1']:.2f}x, "
+                f"group mean {entry['runs'][-1]['wal_group_mean']:.1f})")
     ddl = report.get("ddl")
     if ddl:
         job = ddl["with_online_create"]["job"]

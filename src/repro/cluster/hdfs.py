@@ -23,8 +23,9 @@ __all__ = ["SimHDFS"]
 
 class SimHDFS:
     def __init__(self) -> None:
-        # WALs: one append-only record list per region server.
-        self._wals: Dict[str, List[WalRecord]] = {}
+        # WALs: one per region server, stored per region so the owning
+        # server's per-flush roll-forward never scans unrelated regions.
+        self._wals: Dict[str, Dict[str, List[WalRecord]]] = {}
         # Store files: (table, region) -> ordered SSTables (newest first).
         self._stores: Dict[Tuple[str, str], List[SSTable]] = {}
         # Meta namespace: small durable key/value documents (the DDL job
@@ -51,16 +52,20 @@ class SimHDFS:
 
     # -- WAL namespace -------------------------------------------------------
 
-    def create_wal(self, server_name: str) -> List[WalRecord]:
-        """Create (or truncate) the WAL backing list for a server."""
-        backing: List[WalRecord] = []
+    def create_wal(self, server_name: str) -> Dict[str, List[WalRecord]]:
+        """Create (or truncate) the WAL backing map for a server."""
+        backing: Dict[str, List[WalRecord]] = {}
         self._wals[server_name] = backing
         return backing
 
     def wal_records(self, server_name: str) -> List[WalRecord]:
+        """The server's whole log in global seqno (append) order."""
         if server_name not in self._wals:
             raise StorageError(f"no WAL for server {server_name!r}")
-        return list(self._wals[server_name])
+        out = [record for records in self._wals[server_name].values()
+               for record in records]
+        out.sort(key=lambda record: record.seqno)
+        return out
 
     def delete_wal(self, server_name: str) -> None:
         self._wals.pop(server_name, None)
@@ -100,4 +105,6 @@ class SimHDFS:
 
     @property
     def total_wal_records(self) -> int:
-        return sum(len(records) for records in self._wals.values())
+        return sum(len(records)
+                   for regions in self._wals.values()
+                   for records in regions.values())

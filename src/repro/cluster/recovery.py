@@ -93,18 +93,21 @@ def recover_server(cluster: "MiniCluster", dead: "RegionServer",
         target.add_region(region)
         yield Timeout(_REGION_OPEN_COST_MS)
 
-        # (4)+(5) replay the WAL slice.
+        # (4)+(5) replay the WAL slice.  The re-log into the new server's
+        # WAL is ONE group commit per region (the replay is sequential
+        # I/O on both ends); each replayed mutation keeps its own record
+        # and a fresh seqno, so later flushes roll forward correctly.
         replayed = wal_split.get(info.region_name, [])
-        for record in replayed:
-            new_record = target.wal.append(region.name, record.table,
-                                           record.cells,
-                                           indexed=record.indexed)
-            region.tree.add_many(record.cells, seqno=new_record.seqno)
-            task = task_from_wal_record(record)
-            if task is not None:
-                task.enqueued_at = cluster.sim.now()
-                target.auq.put(task)
         if replayed:
+            new_records = target.wal.append_batch(
+                [(region.name, record.table, record.cells, record.indexed)
+                 for record in replayed])
+            for record, new_record in zip(replayed, new_records):
+                region.tree.add_many(record.cells, seqno=new_record.seqno)
+                task = task_from_wal_record(record)
+                if task is not None:
+                    task.enqueued_at = cluster.sim.now()
+                    target.auq.put(task)
             yield Timeout(len(replayed) * _REPLAY_COST_PER_RECORD_MS)
 
         master.reassign(info, target.name)

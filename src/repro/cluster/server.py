@@ -37,6 +37,7 @@ from repro.cluster.region import Region, compose_cell_key
 from repro.cluster.table import TableDescriptor
 from repro.sim.kernel import Timeout
 from repro.sim.resources import AsyncQueue, Gate, Latch, Resource, use
+from repro.sim.scatter import FANOUT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import MiniCluster
@@ -122,6 +123,18 @@ class RegionServer:
                                                 server=name)
         self.obs_flush_gate_wait = metrics.histogram("flush_gate_wait_ms",
                                                      server=name)
+        # Group-commit width: how many mutations shared one WAL write —
+        # the amortization the batched foreground path (and the APS's
+        # batched deliveries) buys is read straight off this histogram.
+        self.obs_wal_group = metrics.histogram("wal_group_commit_size",
+                                               bounds=FANOUT_BUCKETS,
+                                               server=name)
+        # Block-cache visibility: hit/miss counters tick inline with each
+        # access; the derived hit_rate gauge refreshes every maintenance
+        # tick (cheap, deterministic, fresh enough for bench snapshots).
+        self.cache.bind_metrics(metrics, server=name)
+        self.obs_cache_hit_rate = metrics.gauge("block_cache_hit_rate",
+                                                server=name)
 
         # Monotonic per-server timestamps: System.currentTimeMillis() is
         # non-decreasing; we additionally break ties so that two writes to
@@ -458,6 +471,172 @@ class RegionServer:
             span.end()
             region.locks.release(row)
 
+    # -- batched base-table writes ---------------------------------------------
+
+    def handle_multi_put(self, table: str,
+                         mutations: List[Tuple[str, bytes, Any]],
+                         ) -> Generator[Any, Any, List[Tuple[str, Any]]]:
+        """Batched write path: apply several row mutations under ONE
+        handler slot and ONE group-committed WAL write (§8.2's batching,
+        foregrounded).
+
+        ``mutations`` is a list of ``("put", row, values_dict)`` or
+        ``("del", row, columns_list)``.  Returns a result per mutation, in
+        input order: ``("ok", ts)`` for applied rows, ``("retry", reason)``
+        for rows this server cannot serve (region moved, or closing for a
+        split) — a partial batch never fails the whole RPC, the client
+        re-routes just the rejected rows.
+
+        Lock-ordering rule: row locks are taken in sorted key order (each
+        row from its own region's lock table) and released in reverse, so
+        two concurrent batches with overlapping row sets cannot deadlock.
+        """
+        for mutation in mutations:
+            self._check_row_key(mutation[1])
+        gated = yield from self._gate_entry(table)
+        try:
+            return (yield from self._with_handler(
+                lambda: self._multi_put_body(table, mutations)))
+        finally:
+            if gated:
+                self.put_inflight.decrement()
+
+    def _multi_put_body(self, table: str,
+                        mutations: List[Tuple[str, bytes, Any]],
+                        ) -> Generator[Any, Any, List[Tuple[str, Any]]]:
+        model = self.cluster.model
+        descriptor = self.cluster.descriptor(table)
+        results: List[Optional[Tuple[str, Any]]] = [None] * len(mutations)
+
+        # Admission: route every row to a hosted OPEN region; rejected
+        # rows answer ("retry", ...) individually instead of poisoning
+        # their batch-mates.
+        admitted: List[Tuple[int, str, bytes, Any, Region]] = []
+        for i, (kind, row, payload) in enumerate(mutations):
+            try:
+                region = self._require_open_region(table, row)
+            except NoSuchRegionError as exc:
+                results[i] = ("retry", str(exc))
+                continue
+            admitted.append((i, kind, row, payload, region))
+        if not admitted:
+            return results
+
+        local_indexes = [ix for ix in descriptor.indexes.values()
+                         if ix.is_local]
+        # Wave split: local-index planning reads the old row at ts−δ, so
+        # a duplicate row inside one batch must see its earlier mutation
+        # already in the memtable — each wave holds distinct rows and gets
+        # its own group commit.  Without local indexes no such read
+        # happens and the whole batch is one wave.
+        waves: List[List[Tuple[int, str, bytes, Any, Region]]]
+        if local_indexes:
+            waves = []
+            current: List[Tuple[int, str, bytes, Any, Region]] = []
+            seen: set = set()
+            for item in admitted:
+                if item[2] in seen:
+                    waves.append(current)
+                    current, seen = [], set()
+                current.append(item)
+                seen.add(item[2])
+            if current:
+                waves.append(current)
+        else:
+            waves = [admitted]
+
+        # Row locks: sorted unique key order, duplicates share one
+        # acquisition, reverse-order release (see handle_multi_put).
+        row_region: Dict[bytes, Region] = {}
+        for item in admitted:
+            row_region.setdefault(item[2], item[4])
+        locked: List[bytes] = []
+        span = self.tracer.start("multi_put", server=self.name, table=table,
+                                 rows=len(mutations))
+        try:
+            for row in sorted(row_region):
+                yield row_region[row].locks.acquire(row)
+                locked.append(row)
+
+            # (kind, row, values-or-None, ts) for the observer batch hook.
+            batch_rows: List[Tuple[str, bytes, Optional[Dict[str, bytes]],
+                                   int]] = []
+            for wave in waves:
+                planned = []     # (region, cells) aligned with the wave
+                wal_batch = []   # append_batch input
+                total_cells = 0
+                for i, kind, row, payload, region in wave:
+                    region.note_write()
+                    ts = self.assign_timestamp()
+                    if kind == "put":
+                        cells = tuple(
+                            Cell(compose_cell_key(row, col), ts, value)
+                            for col, value in sorted(payload.items()))
+                        new_values: Optional[Dict[str, bytes]] = payload
+                    else:
+                        cells = tuple(
+                            Cell(compose_cell_key(row, col), ts, None)
+                            for col in sorted(payload))
+                        new_values = None
+                    if local_indexes:
+                        # Same-record local index cells: crash-atomic with
+                        # the base row, exactly as the single-put path.
+                        extra = yield from plan_local_index_cells(
+                            self, region, row, new_values, ts, local_indexes)
+                        cells = cells + tuple(extra)
+                    planned.append((region, cells))
+                    wal_batch.append((region.name, table, cells,
+                                      descriptor.has_indexes))
+                    total_cells += len(cells)
+                    batch_rows.append((kind, row, new_values, ts))
+                    results[i] = ("ok", ts)
+
+                # Group commit: every mutation keeps its own WAL record
+                # and seqno; the log device is charged ONCE per wave.
+                records = self.wal.append_batch(wal_batch)
+                wal_span = self.tracer.start("wal_group_append", parent=span,
+                                             server=self.name,
+                                             records=len(records))
+                yield from use(self.log_device,
+                               model.wal_group_append(len(records)))
+                wal_span.end()
+                self.obs_wal_group.observe(len(records))
+                for (region, cells), record in zip(planned, records):
+                    region.tree.add_many(cells, seqno=record.seqno)
+                yield Timeout(model.memtable_op() * total_cells)
+            self.cluster.counters.incr("base_put", len(admitted))
+
+            # Index maintenance over the WHOLE batch (all waves): the
+            # coalesced hooks plan ops per row timestamp, so wave
+            # boundaries do not matter here.
+            for observer in self.cluster.observers_for(table):
+                yield from self._observer_batch(observer, span,
+                                                descriptor, batch_rows)
+            return results
+        finally:
+            span.end()
+            for row in reversed(locked):
+                row_region[row].locks.release(row)
+
+    def _observer_batch(self, observer, span, descriptor,
+                        batch_rows) -> Generator[Any, Any, None]:
+        """Dispatch one batch of mutations to a coprocessor: the batch
+        hook when the observer has one, else the per-row hooks — so
+        third-party observers written against the single-put interface
+        keep working under multi_put."""
+        hook = getattr(observer, "post_batch", None)
+        if hook is not None:
+            yield from self._observer_hook(hook, span,
+                                           self, descriptor, batch_rows)
+            return
+        for kind, row, values, ts in batch_rows:
+            if kind == "put":
+                yield from self._observer_hook(
+                    observer.post_put, span, self, descriptor, row, values, ts)
+            else:
+                yield from self._observer_hook(
+                    observer.post_delete, span, self, descriptor, row, ts)
+
     # -- base-table reads -----------------------------------------------------
 
     def handle_get(self, table: str, row: bytes,
@@ -597,19 +776,30 @@ class RegionServer:
                          background: bool = True,
                          ) -> Generator[Any, Any, None]:
         """Apply a batch of index puts/deletes under one handler slot and
-        one group-committed WAL write (the APS batching path)."""
-        # Batched APS deliveries compete for the REGULAR handler pool:
-        # the "background AUQ competes for system resource" effect of
-        # §8.2.  This is deadlock-safe — the APS holds no handler while
-        # calling out, unlike the synchronous put path (whose index ops
-        # stay on the dedicated pool).
+        one group-committed WAL write (APS batching, and the coalesced
+        index maintenance of the batched foreground path)."""
+        # Pool selection mirrors the single-op handlers: background
+        # (APS) deliveries compete for the REGULAR handler pool — the
+        # "background AUQ competes for system resource" effect of §8.2 —
+        # which is deadlock-safe because the APS holds no handler while
+        # calling out.  Foreground (sync-scheme) deliveries come from a
+        # put/multi_put handler that DOES hold its own slot, so they land
+        # on the target's dedicated index pool, exactly like
+        # handle_index_put/delete.
+        pool = self.handlers if background else self.index_handlers
         yield from self._with_handler(
-            lambda: self._index_ops_body(ops, background))
+            lambda: self._index_ops_body(ops, background), pool=pool)
 
     def _index_ops_body(self, ops, background):
         model = self.cluster.model
         counters = self.cluster.counters
-        applied = 0
+        # Plan the whole batch FIRST, then append it as one group commit:
+        # a mid-batch routing error (region split/moved under us) leaves
+        # nothing applied, so the caller's whole-delivery retry cannot
+        # double-count — and the counters below only ever see ops that
+        # actually landed.
+        planned: List[Tuple[Region, str, Cell]] = []
+        puts = dels = 0
         for op in ops:
             kind, table, key, ts = op[0], op[1], op[2], op[3]
             if len(op) > 4:
@@ -621,26 +811,32 @@ class RegionServer:
                 if live is None or live.created_epoch != op[4]:
                     continue
             region = self._require_open_region(table, key)
-            region.note_write()
             value = b"" if kind == "put" else None
-            cell = Cell(key, ts, value)
-            record = self.wal.append(region.name, table, (cell,))
-            region.tree.add(cell, seqno=record.seqno)
-            applied += 1
+            planned.append((region, table, Cell(key, ts, value)))
             if kind == "put":
-                counters.incr("async_index_put" if background
-                              else "index_put")
+                puts += 1
             else:
-                counters.incr("async_index_delete" if background
-                              else "index_delete")
-        if not applied:
+                dels += 1
+        if not planned:
             return
         # Group commit: one sequential write covers the whole batch; the
         # per-record cost beyond the first is the marginal buffer copy.
-        group_cost = (model.wal_append()
-                      + (applied - 1) * model.memtable_op())
-        yield from use(self.log_device, group_cost)
+        records = self.wal.append_batch(
+            [(region.name, table, (cell,), False)
+             for region, table, cell in planned])
+        for (region, _table, cell), record in zip(planned, records):
+            region.note_write()
+            region.tree.add(cell, seqno=record.seqno)
+        applied = len(planned)
+        yield from use(self.log_device, model.wal_group_append(applied))
+        self.obs_wal_group.observe(applied)
         yield Timeout(model.memtable_op() * applied)
+        if puts:
+            counters.incr("async_index_put" if background else "index_put",
+                          puts)
+        if dels:
+            counters.incr("async_index_delete" if background
+                          else "index_delete", dels)
 
     def handle_index_scan(self, table: str, key_range: KeyRange,
                           limit: Optional[int] = None,
@@ -708,6 +904,24 @@ class RegionServer:
         self.auq.put(task)
         self.obs_auq_depth.set(len(self.auq))
 
+    def enqueue_index_tasks(self, tasks: List[IndexTask],
+                            ) -> Generator[Any, Any, None]:
+        """Batched AU1: queue one batch's index tasks under ONE enqueue
+        charge and ONE watermark check (the lock-hold coalescing of the
+        batched write path).  Same gate semantics as the single-task
+        form: the intake gate was already checked at multi_put entry."""
+        if not tasks:
+            return
+        watermark = self.config.auq_high_watermark
+        if watermark is not None and len(self.auq) >= watermark:
+            for task in tasks:
+                yield from self._apply_degraded_sync(task)
+            return
+        yield Timeout(self.cluster.model._v(self.cluster.model.auq_enqueue_ms))
+        for task in tasks:
+            self.auq.put(task)
+        self.obs_auq_depth.set(len(self.auq))
+
     def _apply_degraded_sync(self, task: IndexTask) -> Generator[Any, Any, None]:
         """AUQ overflow fallback: at the high watermark the enqueue runs
         the maintenance synchronously (Algorithm 4 order, §4's bounded-queue
@@ -765,6 +979,9 @@ class RegionServer:
                     # Split-policy check (synchronous: submits a master-
                     # side job at most; the close comes back as an RPC).
                     placement.consider_split(self, region)
+            # Derived gauge refreshes once a tick; the raw hit/miss
+            # counters under it tick inline with every cache access.
+            self.obs_cache_hit_rate.set(self.cache.hit_rate())
 
     def flush_region(self, region: Region) -> Generator[Any, Any, None]:
         """The §5.3 flush protocol: 1. pause & drain, 2. flush, 3. roll WAL."""

@@ -26,7 +26,9 @@ from repro.sim.scatter import scatter_gather
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coprocessor import IndexOpContext
 
-__all__ = ["IndexTask", "maintain_indexes", "aps_worker", "live_index_ops",
+__all__ = ["IndexTask", "maintain_indexes", "maintain_indexes_batch",
+           "aps_worker", "live_index_ops", "plan_insert_ops",
+           "plan_delete_ops", "ship_index_ops",
            "APS_RETRY_BACKOFF_MS", "APS_RETRY_BACKOFF_CAP_MS"]
 
 APS_RETRY_BACKOFF_MS = 5.0
@@ -88,6 +90,24 @@ def _skip_for_epoch(task: IndexTask, index: Any) -> bool:
             and getattr(index, "created_epoch", 0) > task.epoch)
 
 
+def _touched_indexes(descriptor: Any, task: IndexTask) -> list:
+    """The global indexes this task must maintain: owned by the task's
+    scheme group, alive at the task's epoch, and (for a put) covering at
+    least one written column.  A row delete touches every owned index."""
+    touched = []
+    for index in descriptor.indexes.values():
+        if index.is_local:
+            continue  # local indexes are maintained inside the put record
+        if task.index_names is not None and index.name not in task.index_names:
+            continue
+        if _skip_for_epoch(task, index):
+            continue
+        if task.new_values is None or any(col in task.new_values
+                                          for col in index.columns):
+            touched.append(index)
+    return touched
+
+
 def _fan_out(ctx: "IndexOpContext", thunks: list, site: str,
              ) -> Generator[Any, Any, None]:
     """Run one statement group (all PIs, or all DIs) in parallel.
@@ -126,19 +146,7 @@ def maintain_indexes(ctx: "IndexOpContext", task: IndexTask,
     Raises :class:`RpcError` if any step ultimately fails — the caller
     decides whether to queue a retry (sync path) or back off (APS).
     """
-    descriptor = ctx.table_descriptor(task.table)
-    touched = []
-    for index in descriptor.indexes.values():
-        if index.is_local:
-            continue  # local indexes are maintained inside the put record
-        if task.index_names is not None and index.name not in task.index_names:
-            continue
-        if _skip_for_epoch(task, index):
-            continue
-        if task.new_values is None:
-            touched.append(index)  # row delete affects every index
-        elif any(col in task.new_values for col in index.columns):
-            touched.append(index)
+    touched = _touched_indexes(ctx.table_descriptor(task.table), task)
     if not touched:
         return
 
@@ -210,34 +218,37 @@ def maintain_insert_only(ctx: "IndexOpContext", task: IndexTask,
                                  background=False, span=span)
 
 
-def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
-                   span: Any = None) -> Generator[Any, Any, list]:
-    """BA2 for one task: read the old row, return the DI/PI op list as
-    ``("del"|"put", index_table, key, ts, epoch)`` tuples (deletes first —
-    Algorithm 4's BA3 before BA4).  The trailing ``epoch`` is the target
-    index's ``created_epoch`` at planning time, so delivery can drop ops
-    whose index was dropped (or dropped and recreated) in the meantime."""
-    descriptor = ctx.table_descriptor(task.table)
-    touched = []
-    for index in descriptor.indexes.values():
-        if index.is_local:
-            continue  # local indexes are maintained inside the put record
-        if task.index_names is not None and index.name not in task.index_names:
-            continue
-        if _skip_for_epoch(task, index):
-            continue
-        if task.new_values is None or any(col in task.new_values
-                                          for col in index.columns):
-            touched.append(index)
+def plan_insert_ops(ctx: "IndexOpContext", task: IndexTask) -> list:
+    """SU2/BA4 for one task as a 5-tuple op list — pure computation, no
+    I/O: every insert carries the base ts fixed at SU1 plus the target
+    index's ``created_epoch`` for drop/recreate protection."""
+    if task.new_values is None:
+        return []  # a delete inserts nothing
+    ops = []
+    for index in _touched_indexes(ctx.table_descriptor(task.table), task):
+        new_tuple = extract_index_values(index, task.new_values)
+        if new_tuple is not None:
+            ops.append(("put", index.table_name,
+                        row_index_key(index, new_tuple, task.row),
+                        task.ts,
+                        getattr(index, "created_epoch", 0)))
+    return ops
+
+
+def plan_delete_ops(ctx: "IndexOpContext", task: IndexTask,
+                    background: bool,
+                    span: Any = None) -> Generator[Any, Any, list]:
+    """SU3/BA2+BA3-plan for one task: ONE versioned base read at
+    ``ts − δ`` covering every touched index, then the DI op list (each
+    delete tombstones at ``ts − δ``, the §4.3 arithmetic)."""
+    touched = _touched_indexes(ctx.table_descriptor(task.table), task)
     if not touched:
         return []
-
     columns = sorted({col for index in touched for col in index.columns})
     old_row = yield from ctx.base_read(
         task.table, task.row, columns, max_ts=task.ts - DELTA_MS,
-        background=True, span=span)
+        background=background, span=span)
     old_values = {col: value for col, (value, _ts) in old_row.items()}
-
     ops = []
     for index in touched:
         old_tuple = extract_index_values(index, old_values)
@@ -246,15 +257,77 @@ def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
                         row_index_key(index, old_tuple, task.row),
                         task.ts - DELTA_MS,
                         getattr(index, "created_epoch", 0)))
-    if task.new_values is not None:
-        for index in touched:
-            new_tuple = extract_index_values(index, task.new_values)
-            if new_tuple is not None:
-                ops.append(("put", index.table_name,
-                            row_index_key(index, new_tuple, task.row),
-                            task.ts,
-                            getattr(index, "created_epoch", 0)))
     return ops
+
+
+def plan_index_ops(ctx: "IndexOpContext", task: IndexTask,
+                   span: Any = None) -> Generator[Any, Any, list]:
+    """BA2 for one task: read the old row, return the DI/PI op list as
+    ``("del"|"put", index_table, key, ts, epoch)`` tuples (deletes first —
+    Algorithm 4's BA3 before BA4).  The trailing ``epoch`` is the target
+    index's ``created_epoch`` at planning time, so delivery can drop ops
+    whose index was dropped (or dropped and recreated) in the meantime."""
+    dels = yield from plan_delete_ops(ctx, task, background=True, span=span)
+    return dels + plan_insert_ops(ctx, task)
+
+
+def ship_index_ops(ctx: "IndexOpContext", ops: list, background: bool,
+                   site: str, span: Any = None) -> Generator[Any, Any, None]:
+    """Deliver ONE statement group's ops as per-target batched RPCs.
+
+    Ops bound for the same region server travel in one
+    ``handle_index_ops`` call and share one group-committed WAL write;
+    distinct targets fan out in parallel.  The call returns only when
+    every delivery landed — it is the statement-group barrier of the
+    batched foreground path (all PIs before any DI leaves).
+
+    Raises on a stale route (``NoSuchRegionError``) or lost RPC; the
+    caller owns the retry/degrade policy.
+    """
+    ops = live_index_ops(ctx.server.cluster, ops)
+    if not ops:
+        return
+    groups: Dict[Any, list] = {}
+    for op in ops:
+        target, _region = ctx.server.cluster.locate(op[1], op[2])
+        groups.setdefault(target, []).append(op)
+    obs = ctx._span(site, span)
+    try:
+        thunks = [(lambda t=target, group=group:
+                   ctx.index_ops_batch(t, group, background=background))
+                  for target, group in groups.items()]
+        yield from _fan_out(ctx, thunks, site)
+    finally:
+        obs.end()
+
+
+def maintain_indexes_batch(ctx: "IndexOpContext", tasks: list,
+                           span: Any = None) -> Generator[Any, Any, None]:
+    """§8.2's batching applied to the FOREGROUND sync-full path: run
+    Algorithm 1 for a whole multi_put batch as three phases —
+
+    1. SU2: PI ops for EVERY row, grouped per target index region, one
+       RPC + one group commit per group;
+    2. SU3: one versioned base read per row at its own ``ts − δ``;
+    3. SU4: DI ops grouped and shipped the same way.
+
+    The phase boundary is a barrier, so the PI-before-DI statement-group
+    order holds for every row at once; each row keeps the timestamps
+    fixed at its SU1, so coalescing cannot perturb the δ arithmetic or
+    the per-row staleness semantics.
+    """
+    insert_ops = []
+    for task in tasks:
+        insert_ops.extend(plan_insert_ops(ctx, task))
+    yield from ship_index_ops(ctx, insert_ops, background=False,    # SU2
+                              site="index_pi", span=span)
+    delete_ops = []
+    for task in tasks:                                              # SU3
+        dels = yield from plan_delete_ops(ctx, task, background=False,
+                                          span=span)
+        delete_ops.extend(dels)
+    yield from ship_index_ops(ctx, delete_ops, background=False,    # SU4
+                              site="index_di", span=span)
 
 
 def live_index_ops(cluster: Any, ops: list) -> list:

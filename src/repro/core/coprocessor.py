@@ -123,18 +123,24 @@ class IndexOpContext:
             obs.end()
 
     def index_ops_batch(self, target: Any, ops: list,
+                        background: bool = True,
                         ) -> Generator[Any, Any, None]:
         """Deliver a batch of ("put"|"del", table, key, ts) ops to one
         server in a single RPC with one group-committed log write — the
-        AUQ batching the paper credits async's throughput edge to."""
+        AUQ batching the paper credits async's throughput edge to.
+        ``background=False`` is the foreground (multi_put) coalesced
+        variant: it lands on the target's dedicated index-handler pool
+        and tallies the synchronous Table 2 counters."""
         if target is None:
             from repro.errors import RpcError
             raise RpcError("no route for batched index ops (recovering)")
         if target is self.server:
-            yield from self.server.handle_index_ops(ops, background=True)
+            yield from self.server.handle_index_ops(ops,
+                                                    background=background)
             return
         yield from self.server.cluster.network.call(
-            target, lambda: target.handle_index_ops(ops, background=True))
+            target,
+            lambda: target.handle_index_ops(ops, background=background))
 
     def index_delete(self, index_table: str, key: bytes, ts: int,
                      background: bool, span: Any = None,

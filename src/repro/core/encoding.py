@@ -83,6 +83,8 @@ def _decode_int_payload(data: bytes, offset: int) -> Tuple[int, int]:
 
 
 def _encode_float_payload(value: float) -> bytes:
+    if value == 0.0:
+        value = 0.0   # -0.0 == 0.0 must encode identically to stay ordered
     (bits,) = struct.unpack(">Q", struct.pack(">d", value))
     if bits & (1 << 63):
         bits ^= 0xFFFFFFFFFFFFFFFF   # negative: flip all bits

@@ -20,10 +20,13 @@ the APS retries it to eventual success.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Generator, Tuple, TYPE_CHECKING
+from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple, \
+    TYPE_CHECKING
 
 from repro.errors import NoSuchRegionError, RpcError
-from repro.core.auq import IndexTask, maintain_indexes, maintain_insert_only
+from repro.core.auq import (IndexTask, maintain_indexes,
+                            maintain_indexes_batch, maintain_insert_only,
+                            plan_insert_ops, ship_index_ops)
 from repro.core.coprocessor import RegionObserver
 from repro.core.schemes import IndexScheme
 
@@ -91,6 +94,33 @@ class SyncFullObserver(RegionObserver):
             return
         yield from self._maintain(server, task, span)
 
+    def post_batch(self, server: "RegionServer", table: TableDescriptor,
+                   batch_rows: List[Tuple[str, bytes,
+                                          Optional[Dict[str, bytes]], int]],
+                   span: Any = None) -> Generator[Any, Any, None]:
+        """Coalesced Algorithm 1 for a whole multi_put batch: one PI
+        phase (grouped per target region), a barrier, per-row RB, one
+        grouped DI phase — §8.2's batching on the foreground path."""
+        tasks = [self._task(server, table, row, values, ts, span)
+                 for _kind, row, values, ts in batch_rows]
+        tasks = [task for task in tasks if task.index_names]
+        if not tasks:
+            return
+        obs = server.tracer.start("sync_index_batch", parent=span,
+                                  scheme="full", server=server.name,
+                                  rows=len(tasks))
+        try:
+            yield from maintain_indexes_batch(server.op_context, tasks,
+                                              span=obs)
+        except (NoSuchRegionError, RpcError):
+            # Degrade the WHOLE batch to the AUQ (§6.2): every op carries
+            # its row's base timestamps, so re-running deliveries that
+            # already landed is idempotent — the APS converges the rest.
+            for task in tasks:
+                server.degrade_to_auq(task)
+        finally:
+            obs.end()
+
 
 class SyncInsertObserver(RegionObserver):
     SCHEMES = frozenset({IndexScheme.SYNC_INSERT})
@@ -121,6 +151,42 @@ class SyncInsertObserver(RegionObserver):
         # stale, and reads repair them (Algorithm 2).
         return
         yield  # pragma: no cover
+
+    def post_batch(self, server: "RegionServer", table: TableDescriptor,
+                   batch_rows: List[Tuple[str, bytes,
+                                          Optional[Dict[str, bytes]], int]],
+                   span: Any = None) -> Generator[Any, Any, None]:
+        """Coalesced SU1+SU2: the batch's inserts grouped per target
+        index region, one RPC + one group commit per group.  Deletes
+        contribute nothing (read-repair owns their stale entries)."""
+        names = _owned_indexes(table, self.SCHEMES)
+        if not names:
+            return
+        tasks = [IndexTask(table.name, row, values, ts,
+                           enqueued_at=server.sim.now(), index_names=names,
+                           span_id=_span_id(span),
+                           epoch=server.cluster.ddl_epoch)
+                 for _kind, row, values, ts in batch_rows
+                 if values is not None]
+        if not tasks:
+            return
+        ctx = server.op_context
+        ops = []
+        for task in tasks:
+            ops.extend(plan_insert_ops(ctx, task))
+        if not ops:
+            return
+        obs = server.tracer.start("sync_index_batch", parent=span,
+                                  scheme="insert", server=server.name,
+                                  rows=len(tasks))
+        try:
+            yield from ship_index_ops(ctx, ops, background=False,
+                                      site="index_pi", span=obs)
+        except (NoSuchRegionError, RpcError):
+            for task in tasks:
+                server.degrade_to_auq(task)
+        finally:
+            obs.end()
 
 
 class AsyncObserver(RegionObserver):
@@ -155,6 +221,29 @@ class AsyncObserver(RegionObserver):
             table.name, row, None, ts, enqueued_at=server.sim.now(),
             index_names=names, span_id=_span_id(span),
             epoch=server.cluster.ddl_epoch), span)
+
+    def post_batch(self, server: "RegionServer", table: TableDescriptor,
+                   batch_rows: List[Tuple[str, bytes,
+                                          Optional[Dict[str, bytes]], int]],
+                   span: Any = None) -> Generator[Any, Any, None]:
+        """Coalesced AU1: the whole batch enters the AUQ under one
+        enqueue charge and one watermark check (Algorithm 3, amortised).
+        Every row still becomes its own IndexTask — APS batching,
+        staleness tracking, and crash-replay granularity are unchanged."""
+        names = _owned_indexes(table, self.SCHEMES)
+        if not names:
+            return
+        now = server.sim.now()
+        tasks = [IndexTask(table.name, row, values, ts, enqueued_at=now,
+                           index_names=names, span_id=_span_id(span),
+                           epoch=server.cluster.ddl_epoch)
+                 for _kind, row, values, ts in batch_rows]
+        obs = server.tracer.start("enqueue_batch", parent=span,
+                                  server=server.name, rows=len(tasks))
+        try:
+            yield from server.enqueue_index_tasks(tasks)
+        finally:
+            obs.end()
 
 
 def build_observers(table: TableDescriptor) -> Tuple[RegionObserver, ...]:

@@ -28,6 +28,20 @@ class BlockCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Optional repro.obs handles (bind_metrics); None keeps the cache
+        # usable without a registry (unit tests, standalone trees).
+        self._obs_hits = None
+        self._obs_misses = None
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Publish hit/miss counters through a MetricsRegistry so bench
+        snapshots carry block-cache behaviour per server."""
+        self._obs_hits = registry.counter("block_cache_hits", **labels)
+        self._obs_misses = registry.counter("block_cache_misses", **labels)
+        if self.hits:
+            self._obs_hits.inc(self.hits)
+        if self.misses:
+            self._obs_misses.inc(self.misses)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -42,8 +56,12 @@ class BlockCache:
         if block_id in self._entries:
             self._entries.move_to_end(block_id)
             self.hits += 1
+            if self._obs_hits is not None:
+                self._obs_hits.inc()
             return True
         self.misses += 1
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
         self._admit(block_id, block_bytes)
         return False
 

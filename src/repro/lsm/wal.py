@@ -9,13 +9,27 @@ the server that wrote it.
 the step the paper's drain-AUQ-before-flush protocol must wait for,
 because once a record leaves the WAL it can no longer be replayed to
 rebuild a lost AUQ entry (§5.3 requirement (1)).
+
+Storage layout: records are kept **per region** (the durable backing is a
+``{region_name: [WalRecord]}`` dict owned by SimHDFS) with a running byte
+counter, so the per-flush ``roll_forward`` and the recovery-time
+``records_for_region``/``split`` never scan other regions' records — a
+server hosting many regions pays O(own records) per flush, not
+O(total WAL).  Seqnos are still assigned from one global counter, so the
+interleaved total order (``records()``) is recoverable by sorting.
+
+``append_batch`` logs several mutations in one call — the group-commit
+entry point of the batched foreground write path.  Each mutation keeps
+its own :class:`WalRecord` and seqno (flush ``roll_forward`` boundaries
+and WAL-as-AUQ-log replay are untouched); only the *device charge* is
+amortised, by the caller, via ``LatencyModel.wal_group_append(n)``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lsm.types import Cell
 
@@ -43,53 +57,107 @@ class WalRecord:
 
 
 class WriteAheadLog:
-    """Region-server WAL stored as a list of records in SimHDFS.
+    """Region-server WAL stored as per-region record lists in SimHDFS.
 
-    The storage is a plain list owned by the durable-FS layer; this class
-    is the append/split/roll-forward logic over it.
+    The storage is a plain dict-of-lists owned by the durable-FS layer;
+    this class is the append/split/roll-forward logic over it.
     """
 
-    def __init__(self, backing: Optional[List[WalRecord]] = None):
-        # ``backing`` is the durable list (lives in SimHDFS); mutations to
-        # it survive the server object being discarded.
-        self._records: List[WalRecord] = backing if backing is not None else []
+    def __init__(self,
+                 backing: Optional[Dict[str, List[WalRecord]]] = None):
+        # ``backing`` is the durable per-region map (lives in SimHDFS);
+        # mutations to it survive the server object being discarded.
+        self._regions: Dict[str, List[WalRecord]] = (
+            backing if backing is not None else {})
+        # Derived bookkeeping, rebuilt from the backing on construction
+        # (a recovered server re-opens a non-empty durable map).
+        self._count = sum(len(records) for records in self._regions.values())
+        self._bytes = sum(r.approximate_bytes
+                          for records in self._regions.values()
+                          for r in records)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._count
+
+    def _append_record(self, record: WalRecord) -> None:
+        self._regions.setdefault(record.region_name, []).append(record)
+        self._count += 1
+        self._bytes += record.approximate_bytes
 
     def append(self, region_name: str, table: str, cells: Tuple[Cell, ...],
                indexed: bool = False) -> WalRecord:
-        record = WalRecord(next(_record_seq), region_name, table, cells, indexed)
-        self._records.append(record)
+        record = WalRecord(next(_record_seq), region_name, table,
+                           tuple(cells), indexed)
+        self._append_record(record)
         return record
 
+    def append_batch(self, mutations: Sequence[Tuple[str, str,
+                                                     Tuple[Cell, ...], bool]],
+                     ) -> List[WalRecord]:
+        """Group commit: log several ``(region_name, table, cells,
+        indexed)`` mutations back to back.  Every mutation still gets its
+        own record and seqno — recovery replay and flush roll-forward see
+        exactly what N single appends would have produced; the caller
+        charges the log device ONCE for the whole batch
+        (``LatencyModel.wal_group_append``)."""
+        records: List[WalRecord] = []
+        for region_name, table, cells, indexed in mutations:
+            record = WalRecord(next(_record_seq), region_name, table,
+                               tuple(cells), indexed)
+            self._append_record(record)
+            records.append(record)
+        return records
+
     def records(self) -> List[WalRecord]:
-        return list(self._records)
+        """Every record in global seqno (append) order."""
+        out = [r for records in self._regions.values() for r in records]
+        out.sort(key=lambda r: r.seqno)
+        return out
 
     def records_for_region(self, region_name: str) -> List[WalRecord]:
-        """WAL split: the replay stream for one region (recovery §5.3)."""
-        return [r for r in self._records if r.region_name == region_name]
+        """WAL split: the replay stream for one region (recovery §5.3).
+        O(records of that region) — no scan of the rest of the log."""
+        return list(self._regions.get(region_name, ()))
 
     def split(self) -> Dict[str, List[WalRecord]]:
         """Split the whole log per region, as ZooKeeper-driven recovery does."""
-        out: Dict[str, List[WalRecord]] = {}
-        for record in self._records:
-            out.setdefault(record.region_name, []).append(record)
-        return out
+        return {region: list(records)
+                for region, records in self._regions.items() if records}
 
     def roll_forward(self, region_name: str, up_to_seqno: int) -> int:
         """Drop records of ``region_name`` with seqno <= ``up_to_seqno``
-        (their data has been flushed).  Returns how many were dropped."""
-        before = len(self._records)
-        self._records[:] = [r for r in self._records
-                            if r.region_name != region_name
-                            or r.seqno > up_to_seqno]
-        return before - len(self._records)
+        (their data has been flushed).  Returns how many were dropped.
+        Touches only this region's records — unrelated regions hosted on
+        the same server cost nothing."""
+        records = self._regions.get(region_name)
+        if not records:
+            return 0
+        # Per-region lists are append-ordered, so seqnos are ascending:
+        # the survivors are a suffix.
+        keep = len(records)
+        for i, record in enumerate(records):
+            if record.seqno > up_to_seqno:
+                keep = i
+                break
+        else:
+            keep = len(records)
+        if keep == 0:
+            return 0
+        dropped = records[:keep]
+        # In-place so the durable backing (SimHDFS) observes the roll.
+        del records[:keep]
+        if not records:
+            self._regions.pop(region_name, None)
+        self._count -= len(dropped)
+        self._bytes -= sum(r.approximate_bytes for r in dropped)
+        return len(dropped)
 
     def max_seqno(self, region_name: str) -> int:
-        seqnos = [r.seqno for r in self._records if r.region_name == region_name]
-        return max(seqnos) if seqnos else 0
+        records = self._regions.get(region_name)
+        # Append order == seqno order within a region.
+        return records[-1].seqno if records else 0
 
     @property
     def approximate_bytes(self) -> int:
-        return sum(r.approximate_bytes for r in self._records)
+        """Running byte counter — O(1), not a re-sum of every record."""
+        return self._bytes

@@ -37,6 +37,11 @@ class LatencyModel:
 
     # Write path.
     wal_append_ms: float = 0.35       # sequential I/O, group-committed
+    # Marginal cost of the 2nd..Nth record in ONE group-committed WAL
+    # write: the buffer copy rides the same sequential I/O, so it is
+    # priced like a memtable op, not like a second disk write.  This gap
+    # (0.35 vs 0.02) IS the §8.2 batching win, made explicit.
+    wal_group_marginal_ms: float = 0.02
     memtable_op_ms: float = 0.02      # skiplist insert / lookup
     auq_enqueue_ms: float = 0.005     # in-memory queue append
 
@@ -74,6 +79,14 @@ class LatencyModel:
 
     def wal_append(self) -> float:
         return self._v(self.wal_append_ms)
+
+    def wal_group_append(self, records: int) -> float:
+        """One group-committed log write covering ``records`` mutations:
+        full sequential-I/O price once, marginal buffer copies after."""
+        if records <= 0:
+            return 0.0
+        return self._v(self.wal_append_ms
+                       + (records - 1) * self.wal_group_marginal_ms)
 
     def memtable_op(self) -> float:
         return self._v(self.memtable_op_ms)

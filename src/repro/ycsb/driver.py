@@ -71,12 +71,26 @@ def load_direct(cluster: MiniCluster, schema: ItemSchema, table: str,
 
 def load_via_client(cluster: MiniCluster, client: Client,
                     schema: ItemSchema, table: str, seed: int = 7,
-                    ) -> Generator[Any, Any, int]:
-    """Load through ordinary puts (index maintenance runs normally)."""
+                    batch_size: int = 1) -> Generator[Any, Any, int]:
+    """Load through ordinary puts (index maintenance runs normally).
+
+    ``batch_size > 1`` loads through the batched multi_put path instead:
+    identical rows and values, ~1/batch_size the round trips and WAL
+    group commits amortised across each batch."""
     rng = RandomStream(seed)
+    if batch_size <= 1:
+        for i in range(schema.record_count):
+            yield from client.put(table, schema.rowkey(i),
+                                  schema.row_values(i, rng))
+        return schema.record_count
+    pending = []
     for i in range(schema.record_count):
-        yield from client.put(table, schema.rowkey(i),
-                              schema.row_values(i, rng))
+        pending.append((schema.rowkey(i), schema.row_values(i, rng)))
+        if len(pending) >= batch_size:
+            yield from client.batch_put(table, pending)
+            pending = []
+    if pending:
+        yield from client.batch_put(table, pending)
     return schema.record_count
 
 
@@ -98,11 +112,16 @@ class DriverResult:
 
 class _DriverBase:
     def __init__(self, cluster: MiniCluster, workload: CoreWorkload,
-                 table: str, seed: int = 11):
+                 table: str, seed: int = 11, batch_size: int = 1):
         self.cluster = cluster
         self.workload = workload
         self.table = table
         self.seed = seed
+        # Write batching: UPDATE/INSERT ops carry this many rows through
+        # one batch_put (1 = the classic per-row put path).  One timed op
+        # then covers the whole batch, so latency is per-batch while
+        # rows/sec throughput scales with the batch width.
+        self.batch_size = max(1, batch_size)
         self.recorder = LatencyRecorder()
         self.issued = 0
         self.failed = 0
@@ -111,11 +130,21 @@ class _DriverBase:
                     ) -> Generator[Any, Any, None]:
         workload = self.workload
         if op == OpType.UPDATE:
-            row, values = workload.next_update(rng)
-            yield from client.put(self.table, row, values)
+            if self.batch_size > 1:
+                items = [workload.next_update(rng)
+                         for _ in range(self.batch_size)]
+                yield from client.batch_put(self.table, items)
+            else:
+                row, values = workload.next_update(rng)
+                yield from client.put(self.table, row, values)
         elif op == OpType.INSERT:
-            row, values = workload.next_insert(rng)
-            yield from client.put(self.table, row, values)
+            if self.batch_size > 1:
+                items = [workload.next_insert(rng)
+                         for _ in range(self.batch_size)]
+                yield from client.batch_put(self.table, items)
+            else:
+                row, values = workload.next_insert(rng)
+                yield from client.put(self.table, row, values)
         elif op == OpType.INDEX_READ:
             title = workload.next_title_query(rng)
             yield from client.get_by_index(workload.title_index_name,
@@ -146,8 +175,10 @@ class ClosedLoopDriver(_DriverBase):
     """N client threads, each issuing back-to-back requests (§8.1)."""
 
     def __init__(self, cluster: MiniCluster, workload: CoreWorkload,
-                 table: str, num_threads: int, seed: int = 11):
-        super().__init__(cluster, workload, table, seed=seed)
+                 table: str, num_threads: int, seed: int = 11,
+                 batch_size: int = 1):
+        super().__init__(cluster, workload, table, seed=seed,
+                         batch_size=batch_size)
         self.num_threads = num_threads
 
     def run(self, duration_ms: float, warmup_ms: float = 0.0) -> DriverResult:
@@ -180,8 +211,9 @@ class OpenLoopDriver(_DriverBase):
 
     def __init__(self, cluster: MiniCluster, workload: CoreWorkload,
                  table: str, target_tps: float, seed: int = 11,
-                 max_in_flight: int = 10_000):
-        super().__init__(cluster, workload, table, seed=seed)
+                 max_in_flight: int = 10_000, batch_size: int = 1):
+        super().__init__(cluster, workload, table, seed=seed,
+                         batch_size=batch_size)
         self.target_tps = target_tps
         self.max_in_flight = max_in_flight
 

@@ -7,6 +7,7 @@ from repro.cluster.network import FaultPlan, Network
 from repro.errors import RpcError, ServerDownError, StorageError
 from repro.lsm.sstable import SSTableBuilder
 from repro.lsm.types import Cell
+from repro.lsm.wal import WalRecord
 from repro.sim import LatencyModel, Simulator
 from repro.sim.random import RandomStream
 
@@ -77,8 +78,8 @@ def test_wal_namespace_lifecycle():
     backing = hdfs.create_wal("rs1")
     assert hdfs.has_wal("rs1")
     assert hdfs.wal_records("rs1") == []
-    backing.append("fake-record")
-    assert hdfs.wal_records("rs1") == ["fake-record"]
+    backing["r1"] = [WalRecord(1, "r1", "t", (Cell(b"k", 1, b"v"),))]
+    assert [r.seqno for r in hdfs.wal_records("rs1")] == [1]
     hdfs.delete_wal("rs1")
     assert not hdfs.has_wal("rs1")
     with pytest.raises(StorageError):
@@ -102,7 +103,7 @@ def test_wal_survives_server_object_loss():
     """Durability: the backing list lives in HDFS, not in the server."""
     hdfs = SimHDFS()
     backing = hdfs.create_wal("rs1")
-    backing.append("record")
+    backing["r1"] = [WalRecord(2, "r1", "t", (Cell(b"k", 1, b"v"),))]
     del backing
-    assert hdfs.wal_records("rs1") == ["record"]
+    assert [r.seqno for r in hdfs.wal_records("rs1")] == [2]
     assert hdfs.total_wal_records == 1
