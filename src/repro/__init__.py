@@ -33,6 +33,7 @@ from repro.cluster import (Client, FaultPlan, MiniCluster,
 from repro.lsm import Cell, KeyRange
 from repro.obs import MetricsRegistry, Tracer
 from repro.placement import PlacementConfig, PlacementManager
+from repro.replication import LatencyBound, ReadMode, ReplicationConfig
 from repro.sim import LatencyModel
 
 __version__ = "1.0.0"
@@ -40,6 +41,7 @@ __version__ = "1.0.0"
 __all__ = [
     "MiniCluster", "Client", "MutationBatch", "ServerConfig", "FaultPlan",
     "PlacementConfig", "PlacementManager",
+    "ReplicationConfig", "ReadMode", "LatencyBound",
     "IndexDescriptor", "IndexScheme", "IndexScope", "ConsistencyLevel",
     "WorkloadProfile", "recommend_scheme",
     "IndexHit", "IndexReport", "Session", "check_index",

@@ -59,6 +59,9 @@ class ExperimentConfig:
     # freely, so the production high-watermark backpressure stays off
     # unless an experiment opts in.
     auq_high_watermark: Optional[int] = None
+    # Region replication (repro.replication); None keeps the classic
+    # single-copy cluster.
+    replication: Optional[object] = None
 
     def schema(self) -> ItemSchema:
         return ItemSchema(record_count=self.record_count,
@@ -82,7 +85,8 @@ class Experiment:
         self.cluster = MiniCluster(
             num_servers=config.num_servers, model=model,
             server_config=server_config, seed=config.seed,
-            staleness_sample_rate=config.staleness_sample_rate)
+            staleness_sample_rate=config.staleness_sample_rate,
+            replication=config.replication)
         self._build()
 
     def _build(self) -> None:

@@ -31,13 +31,19 @@ plus a ``batch`` section A/B-ing the batched foreground write path:
 fresh-row inserts per scheme at batch widths 1 / 8 / 32 through
 ``Client.batch_put``, reporting sim-time rows/sec, the observed WAL
 group-commit widths, and block-cache hit rates — the §8.2 batching win
-measured on the foreground path.
+measured on the foreground path,
+
+and a ``replication`` section (PR 6): promotion-based failover vs
+classic full WAL replay on an identical kill-the-leader scenario
+(client-felt unavailability in sim-ms), and per-scheme leader vs
+follower read p95 with the maximum advertised follower staleness
+checked against the configured bound.
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr5.json`` in the working directory).
+  ``BENCH_pr6.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -55,7 +61,7 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr5.json"
+DEFAULT_OUTPUT = "BENCH_pr6.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
@@ -389,6 +395,150 @@ def _batch_section(record_count: int, rows: int,
     return section
 
 
+def _replication_section(duration_ms: float,
+                         record_count: int) -> Dict[str, object]:
+    """The PR-6 replication numbers.
+
+    ``failover`` A/Bs the recovery path on an identical kill-the-leader
+    scenario: rf=1 (classic full WAL replay) vs rf=3 (promotion of the
+    most caught-up follower).  Unavailability is measured the way a
+    client feels it — a probe ``get`` against the dead leader's range
+    issued right after the kill, retrying on a tight backoff until it
+    lands — so both runs pay the same failure-detection time and the
+    difference isolates the recovery work itself.
+
+    ``read_modes`` runs a 50/50 update/read workload per index scheme at
+    rf=3, splitting the reads between leader and follower mode: leader
+    vs follower p95, plus the maximum staleness any follower read
+    ADVERTISED — the acceptance check is that it never exceeds the
+    configured bound (reads above the bound must have fallen back to
+    the leader, which reports 0.0)."""
+    from repro.bench.harness import Experiment, ExperimentConfig
+    from repro.cluster.client import Client
+    from repro.cluster.cluster import MiniCluster
+    from repro.replication.config import ReadMode, ReplicationConfig
+    from repro.sim.random import RandomStream
+
+    def failover_run(replication_factor: int) -> Dict[str, object]:
+        cluster = MiniCluster(
+            num_servers=4, seed=29, heartbeat_timeout_ms=400.0,
+            replication=ReplicationConfig(
+                replication_factor=replication_factor)).start()
+        cluster.create_table("items")    # ONE region: a clean kill target
+        client = cluster.new_client()
+
+        def load():
+            for i in range(record_count):
+                yield from client.put("items", f"item{i:06d}".encode(),
+                                      {"v": b"v" * 16})
+        cluster.run(load())
+        cluster.advance(100.0)           # followers catch up (rf > 1)
+
+        [info] = cluster.master.layout["items"]
+        victim = info.server_name
+        kill_at = cluster.sim.now()
+        cluster.kill_server(victim)
+        # Tight-backoff probe: client-side retries ride out detection +
+        # recovery; its completion marks the range usable again.
+        probe = Client(cluster, name="probe", retry_backoff_ms=5.0)
+        got = cluster.run(probe.get("items", b"item000000"))
+        unavailability = cluster.sim.now() - kill_at
+        assert got["v"][0] == b"v" * 16
+        return {
+            "replication_factor": replication_factor,
+            "wal_records_at_kill": record_count,
+            "unavailability_sim_ms": round(unavailability, 3),
+            "promotions": int(
+                cluster.metrics.counter("promotions_total").value),
+        }
+
+    replay = failover_run(replication_factor=1)
+    promotion = failover_run(replication_factor=3)
+
+    read_modes: Dict[str, object] = {}
+    for label in ("insert", "full", "async", "session"):
+        exp = Experiment(ExperimentConfig(
+            record_count=record_count,
+            title_cardinality=record_count // 5,
+            scheme_label=label,
+            replication=ReplicationConfig(replication_factor=3)))
+        cluster = exp.cluster
+        client = cluster.new_client()
+        cluster.advance(100.0)           # first full ship round
+        end_at = cluster.sim.now() + duration_ms
+        rng = RandomStream(exp.config.seed + 1)
+        leader_lat: List[float] = []
+        follower_lat: List[float] = []
+        stale = {"max": 0.0, "sum": 0.0, "fallbacks": 0}
+
+        def worker(wid: int):
+            wrng = RandomStream(2000 + wid)
+            while cluster.sim.now() < end_at:
+                i = wrng.randint(0, record_count - 1)
+                roll = wrng.random()
+                if roll < 0.5:
+                    yield from client.put(
+                        exp.TABLE, exp.schema.rowkey(i),
+                        exp.schema.row_values(i, rng))
+                else:
+                    mode = (ReadMode.FOLLOWER if roll < 0.75
+                            else ReadMode.LEADER)
+                    t0 = cluster.sim.now()
+                    yield from client.get(exp.TABLE, exp.schema.rowkey(i),
+                                          read_mode=mode)
+                    elapsed = cluster.sim.now() - t0
+                    if mode == ReadMode.FOLLOWER:
+                        follower_lat.append(elapsed)
+                        s = client.last_read_staleness_ms
+                        stale["max"] = max(stale["max"], s)
+                        stale["sum"] += s
+                        if s == 0.0:
+                            stale["fallbacks"] += 1
+                    else:
+                        leader_lat.append(elapsed)
+
+        def drive():
+            procs = [cluster.spawn(worker(w), name=f"repl-{label}-w{w}")
+                     for w in range(4)]
+            for proc in procs:
+                proc._waited_on = True
+            for proc in procs:
+                yield proc
+        cluster.run(drive())
+
+        def p95(lat: List[float]) -> float:
+            if not lat:
+                return 0.0
+            lat = sorted(lat)
+            return lat[int(0.95 * (len(lat) - 1))]
+
+        bound = cluster.replication.max_staleness_ms
+        read_modes[label] = {
+            "leader_reads": len(leader_lat),
+            "follower_reads": len(follower_lat),
+            "leader_p95_ms": round(p95(leader_lat), 3),
+            "follower_p95_ms": round(p95(follower_lat), 3),
+            "max_follower_staleness_ms": round(stale["max"], 3),
+            "mean_follower_staleness_ms": round(
+                stale["sum"] / len(follower_lat), 3) if follower_lat else 0.0,
+            "leader_fallbacks": stale["fallbacks"],
+            "staleness_bound_ms": bound,
+            "within_bound": stale["max"] <= bound,
+        }
+
+    return {
+        "failover": {
+            "full_replay_rf1": replay,
+            "promotion_rf3": promotion,
+            # Headline number: the unavailability promotion buys back.
+            "promotion_win_sim_ms": round(
+                replay["unavailability_sim_ms"]
+                - promotion["unavailability_sim_ms"], 3),
+        },
+        "read_modes": read_modes,
+    }
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -404,7 +554,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     batch_rows = 320 if quick else 960
 
     report: Dict[str, object] = {
-        "bench": "pr5-batched-write-perf-baseline",
+        "bench": "pr6-replication-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count, "batch_rows": batch_rows},
@@ -428,6 +578,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     # recovers, and what the p95 comparison is measuring.
     report["placement"] = _placement_section(max(24, threads[-1]),
                                              duration_ms, record_count)
+    report["replication"] = _replication_section(duration_ms, record_count)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -486,4 +637,22 @@ def render_perf_report(report: Dict[str, object]) -> str:
             f"({placement['p95_improvement_ms']:+.2f} ms, "
             f"{on['splits']} splits, {on['moves']} moves, "
             f"errors={off['client_errors'] + on['client_errors']})")
+    replication = report.get("replication")
+    if replication:
+        failover = replication["failover"]
+        lines.append(
+            f"  replication: failover unavailability "
+            f"{failover['full_replay_rf1']['unavailability_sim_ms']:.1f} "
+            f"sim-ms (full replay) -> "
+            f"{failover['promotion_rf3']['unavailability_sim_ms']:.1f} "
+            f"sim-ms (promotion, win "
+            f"{failover['promotion_win_sim_ms']:+.1f} ms)")
+        for label, stats in sorted(replication["read_modes"].items()):
+            lines.append(
+                f"    {label:>7} read p95 leader "
+                f"{stats['leader_p95_ms']:.2f} ms / follower "
+                f"{stats['follower_p95_ms']:.2f} ms, max staleness "
+                f"{stats['max_follower_staleness_ms']:.1f} ms "
+                f"(bound {stats['staleness_bound_ms']:.0f}, "
+                f"within={stats['within_bound']})")
     return "\n".join(lines)

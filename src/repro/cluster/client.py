@@ -25,6 +25,8 @@ from repro.core.reader import IndexHit
 from repro.core.schemes import IndexScheme
 from repro.core.session import Session
 from repro.lsm.types import Cell, KeyRange
+from repro.cluster.region import compose_cell_key
+from repro.replication.config import LatencyBound, ReadMode
 from repro.sim.kernel import Timeout
 from repro.sim.scatter import scatter_gather
 
@@ -73,11 +75,25 @@ class Client:
 
     def __init__(self, cluster: "MiniCluster", name: str = "client",
                  max_route_retries: int = 60, retry_backoff_ms: float = 50.0,
-                 max_fanout: int = 16):
+                 max_fanout: int = 16, read_mode: Any = ReadMode.LEADER,
+                 max_staleness_ms: Optional[float] = None):
         self.cluster = cluster
         self.name = name
         self.max_route_retries = max_route_retries
         self.retry_backoff_ms = retry_backoff_ms
+        # Default read mode for `get`: one of the ReadMode strings or a
+        # LatencyBound instance; overridable per call.
+        self.read_mode = read_mode
+        # Staleness bound for follower reads; a follower whose measured
+        # lag exceeds it is inadmissible and the read falls back to the
+        # leader, so the bound is a GUARANTEE, not a hint.
+        self.max_staleness_ms = (cluster.replication.max_staleness_ms
+                                 if max_staleness_ms is None
+                                 else max_staleness_ms)
+        # Measured staleness of the last get (0.0 for leader-served
+        # reads): the observable half of the bounded-staleness contract.
+        self.last_read_staleness_ms = 0.0
+        self._follower_rr = 0
         # Bound on concurrent outbound RPCs for scatter paths (multi-region
         # scans, multigets, read-repair deletes) — the client-side analogue
         # of an HBase connection pool size.
@@ -287,14 +303,290 @@ class Client:
             columns: Optional[List[str]] = None,
             max_ts: Optional[int] = None,
             session: Optional[Session] = None,
+            read_mode: Any = None,
             ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
-        result = yield from self._routed(
-            table, row,
-            lambda server: server.handle_get(table, row, columns, max_ts))
+        """Read one row.  ``read_mode`` (default: the client's) picks a
+        point on the consistency/latency spectrum:
+
+        * ``"leader"`` — strong: the region leader answers.
+        * ``"follower"`` — bounded staleness: a follower answers iff its
+          measured lag is within ``max_staleness_ms``, else the leader.
+        * ``"quorum"`` — strong + anti-entropy: leader and followers are
+          read together; the leader's answer wins and lagging followers
+          are read-repaired toward it.
+        * a :class:`LatencyBound` — fastest admissible replica via
+          scatter: first answer within its staleness bound wins, the
+          leader once the latency budget runs out.
+
+        ``self.last_read_staleness_ms`` reports how stale the returned
+        data may be (0.0 when the leader served it).
+        """
+        mode = self.read_mode if read_mode is None else read_mode
+        if isinstance(mode, LatencyBound):
+            result = yield from self._latency_bound_get(table, row, columns,
+                                                        max_ts, mode)
+        elif mode == ReadMode.FOLLOWER:
+            result = yield from self._follower_get(table, row, columns,
+                                                   max_ts)
+        elif mode == ReadMode.QUORUM:
+            result = yield from self._quorum_get(table, row, columns, max_ts)
+        else:
+            result = yield from self._routed(
+                table, row,
+                lambda server: server.handle_get(table, row, columns, max_ts))
+            self.last_read_staleness_ms = 0.0
         if session is not None and not session.disabled:
             session.touch(self.cluster.sim.now())
             result = session.merge_base_row(table, row, result)
         return result
+
+    # -- replicated read paths ---------------------------------------------------
+
+    def _follower_targets(self, info: "RegionInfo") -> List["RegionInfo"]:
+        """Live follower hosts for ``info``, rotated round-robin so a
+        client spreads its follower reads over the replica set."""
+        servers = [self.cluster.servers[name]
+                   for name in info.replica_servers
+                   if name in self.cluster.servers
+                   and self.cluster.servers[name].alive]
+        if not servers:
+            return []
+        start = self._follower_rr % len(servers)
+        self._follower_rr += 1
+        return servers[start:] + servers[:start]
+
+    def _follower_get(self, table: str, row: bytes,
+                      columns: Optional[List[str]],
+                      max_ts: Optional[int],
+                      ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        """Bounded-staleness read: try followers round-robin, accept the
+        first whose advertised lag is within the bound; otherwise the
+        leader serves (staleness 0 — the bound still holds)."""
+        attempts = 0
+        while True:
+            try:
+                info = self._locate(table, row)
+                for follower in self._follower_targets(info):
+                    try:
+                        result, staleness = yield from self.cluster.network.call(
+                            follower,
+                            lambda f=follower: f.handle_replica_get(
+                                table, info.region_name, row, columns,
+                                max_ts),
+                            source=self.name)
+                    except (ServerDownError, NoSuchRegionError):
+                        continue   # next follower; leader is the backstop
+                    if staleness <= self.max_staleness_ms:
+                        self.last_read_staleness_ms = staleness
+                        return result
+                leader = self.cluster.servers[info.server_name]
+                result = yield from self.cluster.network.call(
+                    leader,
+                    lambda: leader.handle_get(table, row, columns, max_ts),
+                    source=self.name)
+                self.last_read_staleness_ms = 0.0
+                return result
+            except (ServerDownError, NoSuchRegionError):
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+
+    def _quorum_get(self, table: str, row: bytes,
+                    columns: Optional[List[str]],
+                    max_ts: Optional[int],
+                    ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        """Quorum read: scatter over the leader and every follower, wait
+        for all (collect_errors), require a majority of the replica set to
+        have answered.  The leader's answer is authoritative — naive
+        newest-timestamp merging would resurrect tombstoned columns from
+        a lagging follower — and followers whose answers lag it are
+        read-repaired toward the leader's cells."""
+        attempts = 0
+        while True:
+            try:
+                info = self._locate(table, row)
+                leader = self.cluster.servers[info.server_name]
+                followers = [self.cluster.servers[name]
+                             for name in info.replica_servers
+                             if name in self.cluster.servers]
+
+                def read_leader():
+                    result = yield from self.cluster.network.call(
+                        leader,
+                        lambda: leader.handle_get(table, row, columns,
+                                                  max_ts),
+                        source=self.name)
+                    return result
+
+                def read_follower(follower):
+                    result, _staleness = yield from self.cluster.network.call(
+                        follower,
+                        lambda: follower.handle_replica_get(
+                            table, info.region_name, row, columns, max_ts),
+                        source=self.name)
+                    return result
+
+                answers = yield scatter_gather(
+                    self.cluster.sim,
+                    [read_leader] + [lambda f=f: read_follower(f)
+                                     for f in followers],
+                    max_fanout=self.max_fanout, collect_errors=True,
+                    name="quorum_get", metrics=self.cluster.metrics,
+                    site="quorum_get")
+                for answer in answers:
+                    if (isinstance(answer, BaseException)
+                            and not isinstance(answer, (ServerDownError,
+                                                        NoSuchRegionError))):
+                        raise answer
+                if isinstance(answers[0], BaseException):
+                    # No authoritative copy — surface the routing failure
+                    # and retry after recovery promotes a follower.
+                    raise answers[0]
+                quorum = (1 + len(info.replica_servers)) // 2 + 1
+                reachable = sum(1 for answer in answers
+                                if not isinstance(answer, BaseException))
+                if reachable < quorum:
+                    raise ServerDownError(
+                        f"quorum read of {table!r}/{row!r}: only "
+                        f"{reachable}/{quorum} replicas answered")
+                authoritative = answers[0]
+                yield from self._repair_followers(
+                    table, info.region_name, row, authoritative,
+                    [(follower, answer) for follower, answer
+                     in zip(followers, answers[1:])
+                     if not isinstance(answer, BaseException)])
+                self.last_read_staleness_ms = 0.0
+                return authoritative
+            except (ServerDownError, NoSuchRegionError):
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+
+    def _repair_followers(self, table: str, region_name: str, row: bytes,
+                          authoritative: Dict[str, Tuple[bytes, int]],
+                          follower_answers,
+                          ) -> Generator[Any, Any, None]:
+        """Push the leader's newer cells to any follower whose quorum
+        answer lagged them.  Repairs are point fixes: columns the
+        follower has that the leader lacks are left to the ship loop
+        (the delete record is on its way; inventing a tombstone here
+        would need a timestamp we do not have)."""
+        repairs = []
+        for follower, answer in follower_answers:
+            cells = tuple(
+                Cell(compose_cell_key(row, column), ts, value)
+                for column, (value, ts) in sorted(authoritative.items())
+                if column not in answer or answer[column][1] < ts)
+            if cells:
+                repairs.append((follower, cells))
+        if not repairs:
+            return
+        def repair_one(follower, cells):
+            count = yield from self.cluster.network.call(
+                follower,
+                lambda: follower.handle_replica_repair(table, region_name,
+                                                       cells),
+                source=self.name)
+            return count
+        # collect_errors: a follower dying mid-repair must not fail the
+        # read — its replica died with it.
+        yield scatter_gather(
+            self.cluster.sim,
+            [lambda f=f, c=c: repair_one(f, c) for f, c in repairs],
+            max_fanout=self.max_fanout, collect_errors=True,
+            name="quorum_repair", metrics=self.cluster.metrics,
+            site="quorum_repair")
+
+    def _latency_bound_get(self, table: str, row: bytes,
+                           columns: Optional[List[str]],
+                           max_ts: Optional[int], bound: LatencyBound,
+                           ) -> Generator[Any, Any, Dict[str, Tuple[bytes, int]]]:
+        """Latency-bound read: scatter to the leader AND every live
+        follower at once, poll, and return the first admissible answer —
+        a follower within ``bound.max_staleness_ms``, or the leader
+        (always admissible).  When ``bound.budget_ms`` runs out with no
+        admissible answer yet, block on the leader: the budget buys
+        speculation, not weaker consistency."""
+        attempts = 0
+        while True:
+            try:
+                info = self._locate(table, row)
+            except NoSuchRegionError:
+                attempts += 1
+                if attempts > self.max_route_retries:
+                    raise
+                self.refresh_layout()
+                yield Timeout(self.retry_backoff_ms)
+                continue
+            leader = self.cluster.servers[info.server_name]
+            leader_proc = self.cluster.sim.spawn(
+                self.cluster.network.call(
+                    leader,
+                    lambda: leader.handle_get(table, row, columns, max_ts),
+                    source=self.name),
+                name=f"{self.name}/lb-leader")
+            leader_proc._waited_on = True      # polled below
+            follower_procs = []
+            for name in info.replica_servers:
+                follower = self.cluster.servers.get(name)
+                if follower is None or not follower.alive:
+                    continue
+                proc = self.cluster.sim.spawn(
+                    self.cluster.network.call(
+                        follower,
+                        lambda f=follower: f.handle_replica_get(
+                            table, info.region_name, row, columns, max_ts),
+                        source=self.name),
+                    name=f"{self.name}/lb-{name}")
+                proc._waited_on = True
+                follower_procs.append(proc)
+            deadline = self.cluster.sim.now() + bound.budget_ms
+            while True:
+                if (leader_proc.future.done()
+                        and leader_proc.future.exception() is None):
+                    self.last_read_staleness_ms = 0.0
+                    return leader_proc.future.result()
+                admissible = None
+                for proc in follower_procs:
+                    if not proc.future.done() or proc.future.exception():
+                        continue
+                    result, staleness = proc.future.result()
+                    if staleness <= bound.max_staleness_ms and (
+                            admissible is None or staleness < admissible[1]):
+                        admissible = (result, staleness)
+                if admissible is not None:
+                    self.last_read_staleness_ms = admissible[1]
+                    return admissible[0]
+                still_running = [p for p in ([leader_proc] + follower_procs)
+                                 if not p.future.done()]
+                if not still_running or (self.cluster.sim.now() >= deadline
+                                         and leader_proc.future.done()):
+                    break
+                if self.cluster.sim.now() >= deadline:
+                    # Budget spent with nothing admissible: commit to the
+                    # leader (strong) instead of polling on.
+                    try:
+                        result = yield leader_proc
+                        self.last_read_staleness_ms = 0.0
+                        return result
+                    except (ServerDownError, NoSuchRegionError):
+                        break
+                yield Timeout(0.5)
+            # Every speculative read failed (or came back inadmissible
+            # and the leader errored): classic refresh-and-retry.
+            attempts += 1
+            if attempts > self.max_route_retries:
+                leader_exc = (leader_proc.future.exception()
+                              if leader_proc.future.done() else None)
+                raise leader_exc or ServerDownError(
+                    f"latency-bound read of {table!r}/{row!r}: no replica "
+                    f"answered admissibly")
+            self.refresh_layout()
+            yield Timeout(self.retry_backoff_ms)
 
     def multi_get(self, table: str, rows: Sequence[bytes],
                   columns: Optional[List[str]] = None,

@@ -29,6 +29,7 @@ from repro.cluster.region import compose_cell_key
 from repro.cluster.server import RegionServer, ServerConfig
 from repro.cluster.table import TableDescriptor, TableKind
 from repro.obs import MetricsRegistry, Tracer
+from repro.replication.config import ReplicationConfig
 from repro.sim.kernel import Process, Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.random import SeedFactory
@@ -53,8 +54,10 @@ class MiniCluster:
                  staleness_sample_rate: float = 1.0,
                  fault_plan: Optional[FaultPlan] = None,
                  heartbeat_timeout_ms: float = 2000.0,
-                 placement: Optional["PlacementConfig"] = None):
+                 placement: Optional["PlacementConfig"] = None,
+                 replication: Optional[ReplicationConfig] = None):
         self.sim = Simulator()
+        self.replication = replication or ReplicationConfig()
         self.model = model or LatencyModel()
         self.seeds = SeedFactory(seed)
         self.hdfs = SimHDFS()
@@ -400,8 +403,9 @@ class MiniCluster:
 
     # -- clients & driving --------------------------------------------------------------
 
-    def new_client(self, name: str = "client") -> Client:
-        return Client(self, name=name)
+    def new_client(self, name: str = "client",
+                   read_mode: Any = "leader") -> Client:
+        return Client(self, name=name, read_mode=read_mode)
 
     def run(self, gen: Generator, name: str = "task") -> Any:
         """Blocking facade: drive the simulator until ``gen`` completes."""

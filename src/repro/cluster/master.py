@@ -31,6 +31,10 @@ class RegionInfo:
     table: str
     key_range: KeyRange
     server_name: str
+    # Follower replica hosts (leader excluded; empty at the default
+    # replication_factor=1).  Anti-affinity invariant: never contains
+    # server_name and never repeats a server.
+    replica_servers: List[str] = dataclasses.field(default_factory=list)
 
 
 class Master:
@@ -58,13 +62,19 @@ class Master:
         splits = sorted(split_keys or [])
         boundaries = [b""] + splits + [None]
         infos: List[RegionInfo] = []
+        # Catalog first: follower placement below resolves the descriptor
+        # and scores servers through the live layout.
+        self.tables[descriptor.name] = descriptor
         for i in range(len(boundaries) - 1):
             key_range = KeyRange(boundaries[i], boundaries[i + 1])
             server = self._next_server()
             info = self._place_new_region(descriptor, key_range, server)
             infos.append(info)
-        self.tables[descriptor.name] = descriptor
         self.layout[descriptor.name] = infos
+        if self.cluster.replication.enabled:
+            from repro.replication.promote import ensure_replicas
+            for info in infos:
+                ensure_replicas(self.cluster, info)
         self.routing_epoch += 1
         return infos
 
@@ -76,6 +86,10 @@ class Master:
             server = self.cluster.servers.get(info.server_name)
             if server is not None:
                 server.remove_region(info.region_name)
+            for follower_name in info.replica_servers:
+                follower = self.cluster.servers.get(follower_name)
+                if follower is not None:
+                    follower.remove_follower(info.region_name)
             self.cluster.hdfs.delete_store(name, info.region_name)
         self.routing_epoch += 1
 
@@ -162,6 +176,11 @@ class Master:
         self.routing_epoch += 1
 
     def snapshot_layout(self) -> Dict[str, List[RegionInfo]]:
-        """A client-cacheable copy of the partition map."""
-        return {table: [dataclasses.replace(info) for info in infos]
+        """A client-cacheable copy of the partition map.
+        ``dataclasses.replace`` is shallow — the replica list must be
+        copied explicitly or the cache would alias the live layout."""
+        return {table: [dataclasses.replace(
+                            info,
+                            replica_servers=list(info.replica_servers))
+                        for info in infos]
                 for table, infos in self.layout.items()}

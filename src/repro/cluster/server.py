@@ -21,7 +21,8 @@ the latency growth in Figures 7/8 and the AUQ backlog of Figure 11.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+from typing import (Any, Dict, Generator, List, Optional, Set, Tuple,
+                    TYPE_CHECKING)
 
 from repro.errors import NoSuchRegionError, RpcError, ServerDownError
 from repro.core.auq import IndexTask, aps_worker, maintain_indexes
@@ -35,6 +36,8 @@ from repro.lsm.types import Cell, KeyRange
 from repro.lsm.wal import WriteAheadLog
 from repro.cluster.region import Region, compose_cell_key
 from repro.cluster.table import TableDescriptor
+from repro.replication.replica import FollowerReplica
+from repro.replication.ship import replication_ship_loop
 from repro.sim.kernel import Timeout
 from repro.sim.resources import AsyncQueue, Gate, Latch, Resource, use
 from repro.sim.scatter import FANOUT_BUCKETS
@@ -82,6 +85,17 @@ class RegionServer:
         self.regions: Dict[str, Region] = {}
         self.cache = BlockCache(self.config.block_cache_bytes)
         self.wal = WriteAheadLog(cluster.hdfs.create_wal(name))
+
+        # Replication state (inert at replication_factor=1).  Follower
+        # replicas hosted HERE, keyed by region name; the leader-side
+        # acked ship watermark per (region, follower); and the latest
+        # flush point per led region — (rolled_seqno, prepare_time),
+        # recorded synchronously with each WAL roll-forward so it can be
+        # piggybacked on ship batches race-free.
+        self.follower_regions: Dict[str, FollowerReplica] = {}
+        self.ship_state: Dict[Tuple[str, str], int] = {}
+        self.ship_inflight: Set[Tuple[str, str]] = set()
+        self.flush_points: Dict[str, Tuple[int, float]] = {}
 
         # Devices.  Index-table ops get their own handler pool: a put
         # handler blocks on remote index puts, so sharing one pool would
@@ -135,6 +149,13 @@ class RegionServer:
         self.cache.bind_metrics(metrics, server=name)
         self.obs_cache_hit_rate = metrics.gauge("block_cache_hit_rate",
                                                 server=name)
+        # Replication probes: follower-read and quorum-repair counters
+        # resolve once here; the per-region replication_lag_ms histogram
+        # is looked up at observe time (ship cadence, not a hot path).
+        self.obs_follower_reads = metrics.counter("follower_reads_total",
+                                                  server=name)
+        self.obs_quorum_repairs = metrics.counter("quorum_repairs_total",
+                                                  server=name)
 
         # Monotonic per-server timestamps: System.currentTimeMillis() is
         # non-decreasing; we additionally break ties so that two writes to
@@ -162,6 +183,11 @@ class RegionServer:
             self._maintenance_loop(), name=f"{self.name}/maintenance"))
         self._background.append(self.sim.spawn(
             self._heartbeat_loop(), name=f"{self.name}/heartbeat"))
+        if self.cluster.replication.enabled:
+            # Spawned only when replication is on: single-copy runs stay
+            # event-for-event identical to the pre-replication cluster.
+            self._background.append(self.sim.spawn(
+                replication_ship_loop(self), name=f"{self.name}/ship"))
 
     def kill(self) -> None:
         """Crash: memtables and AUQ contents die with the process; the WAL
@@ -179,7 +205,22 @@ class RegionServer:
         self.regions[region.name] = region
 
     def remove_region(self, region_name: str) -> Optional[Region]:
+        self.flush_points.pop(region_name, None)
+        for key in [k for k in self.ship_state if k[0] == region_name]:
+            del self.ship_state[key]
         return self.regions.pop(region_name, None)
+
+    def add_follower(self, replica: FollowerReplica) -> None:
+        """Host a follower replica: same cache/metrics binding as a led
+        region, but it lives in ``follower_regions`` — invisible to the
+        write path, the maintenance loop and ``region_for`` routing."""
+        replica.region.tree.cache = self.cache
+        replica.region.tree.bind_metrics(self.cluster.metrics,
+                                         server=self.name)
+        self.follower_regions[replica.region_name] = replica
+
+    def remove_follower(self, region_name: str) -> Optional[FollowerReplica]:
+        return self.follower_regions.pop(region_name, None)
 
     def handle_split_close(self, table: str, region_name: str,
                            ) -> Generator[Any, Any, None]:
@@ -885,6 +926,105 @@ class RegionServer:
             out = out[:limit]
         return out
 
+    # -- replication (follower-side) ----------------------------------------------
+
+    def _require_follower(self, table: str, region_name: str,
+                          ) -> FollowerReplica:
+        replica = self.follower_regions.get(region_name)
+        if replica is None or replica.region.table.name != table:
+            raise NoSuchRegionError(
+                f"{self.name} hosts no follower of {table!r}/{region_name!r}")
+        return replica
+
+    def handle_replica_append(self, table: str, region_name: str,
+                              records: Tuple, leader_time: Optional[float],
+                              flush_point: Optional[Tuple[int, float]],
+                              ) -> Generator[Any, Any, int]:
+        """Apply one shipped WAL batch (possibly empty: a heartbeat).
+
+        ``flush_point`` relinks the replica onto the leader's flushed
+        store files first, so a batch can never reference rolled-away
+        records the replica missed; ``leader_time`` (None for truncated
+        batches) advances the coverage watermark.  Returns the replica's
+        applied seqno — the replication high-watermark."""
+        return (yield from self._with_handler(
+            lambda: self._replica_append_body(table, region_name, records,
+                                              leader_time, flush_point)))
+
+    def _replica_append_body(self, table, region_name, records, leader_time,
+                             flush_point):
+        replica = self._require_follower(table, region_name)
+        model = self.cluster.model
+        if flush_point is not None and flush_point[0] > replica.relinked_seqno:
+            replica.relink(
+                self.cluster.hdfs.store_files(table, region_name),
+                flush_point[0], flush_point[1])
+        applied_cells = 0
+        for record in records:
+            if replica.apply(record):
+                applied_cells += len(record.cells)
+        if applied_cells:
+            # Group framing: the batch arrived as one shipment and is
+            # charged as one memtable pass — no WAL write on the
+            # follower (durability is the leader WAL's job; promotion
+            # re-logs from it).
+            yield Timeout(model.memtable_op() * applied_cells)
+        if leader_time is not None and leader_time > replica.caught_up_through:
+            replica.caught_up_through = leader_time
+        self.cluster.metrics.histogram(
+            "replication_lag_ms", region=region_name).observe(
+            replica.staleness_at(self.sim.now()))
+        return replica.applied_seqno
+
+    def handle_replica_get(self, table: str, region_name: str, row: bytes,
+                           columns: Optional[List[str]] = None,
+                           max_ts: Optional[int] = None,
+                           ) -> Generator[Any, Any, Tuple[Dict, float]]:
+        """Bounded-staleness read from a follower replica: returns
+        ``(row_data, staleness_ms)`` where the advertised staleness is
+        the replica's measured lag — every write acknowledged at least
+        that long ago is guaranteed visible in the result."""
+        return (yield from self._with_handler(
+            lambda: self._replica_get_body(table, region_name, row,
+                                           columns, max_ts)))
+
+    def _replica_get_body(self, table, region_name, row, columns, max_ts):
+        replica = self._require_follower(table, region_name)
+        region = replica.region
+        if not region.contains_row(row):
+            raise NoSuchRegionError(
+                f"follower {region_name} on {self.name} does not cover "
+                f"{row!r}")
+        region.note_read()
+        stats = ReadStats()
+        result = region.read_row(row, columns, max_ts=max_ts, stats=stats)
+        yield from self.charge_read(stats)
+        self.obs_follower_reads.inc()
+        self.cluster.counters.incr("base_read")
+        staleness = replica.staleness_at(self.sim.now())
+        self.cluster.metrics.histogram(
+            "follower_read_staleness_ms", server=self.name).observe(staleness)
+        return result, staleness
+
+    def handle_replica_repair(self, table: str, region_name: str,
+                              cells: Tuple[Cell, ...],
+                              ) -> Generator[Any, Any, int]:
+        """Quorum read-repair: install leader-authoritative cells into a
+        lagging follower's memtable.  Repairs are point fixes — they do
+        not advance either watermark (the data was already durable on
+        the leader, and a repair proves nothing about coverage)."""
+        return (yield from self._with_handler(
+            lambda: self._replica_repair_body(table, region_name, cells)))
+
+    def _replica_repair_body(self, table, region_name, cells):
+        replica = self._require_follower(table, region_name)
+        for cell in cells:
+            replica.region.tree.add(cell)
+        if cells:
+            yield Timeout(self.cluster.model.memtable_op() * len(cells))
+        self.obs_quorum_repairs.inc(len(cells))
+        return len(cells)
+
     # -- AUQ ----------------------------------------------------------------------
 
     def enqueue_index_task(self, task: IndexTask) -> Generator[Any, Any, None]:
@@ -1001,6 +1141,10 @@ class RegionServer:
             if self.config.drain_auq_before_flush and region.table.has_indexes:
                 yield from self.drain_auq()
                 drained = True
+            # Same synchronous step as prepare_flush: every write acked
+            # by prepare_time has seqno <= handle.wal_seqno, which is
+            # what makes the flush point below a valid coverage claim.
+            prepare_time = self.sim.now()
             handle = region.tree.prepare_flush()
             if drained and not self.config.strict_flush_gate:
                 # Safe early reopen: puts from here on hit the new memtable
@@ -1014,6 +1158,13 @@ class RegionServer:
                 self.cluster.hdfs.set_store_files(
                     region.table.name, region.name, region.tree._sstables)
                 self.wal.roll_forward(region.name, handle.wal_seqno)
+                if self.cluster.replication.enabled:
+                    # Recorded synchronously with the roll-forward (no
+                    # yield between): ship batches carry this point, so
+                    # a follower can never observe rolled records as
+                    # neither-in-WAL-nor-in-store-files.
+                    self.flush_points[region.name] = (handle.wal_seqno,
+                                                      prepare_time)
                 self.flushes_completed += 1
             if drained:
                 self.auq_gate.open()

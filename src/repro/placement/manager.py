@@ -50,7 +50,36 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import MiniCluster
     from repro.cluster.server import RegionServer
 
-__all__ = ["PlacementConfig", "PlacementManager"]
+__all__ = ["PlacementConfig", "PlacementManager", "pick_placement_target",
+           "replica_holders"]
+
+
+def replica_holders(info: RegionInfo) -> Set[str]:
+    """Every server holding a copy of ``info`` — leader plus followers.
+    The anti-affinity checks all phrase themselves against this set."""
+    return {info.server_name, *info.replica_servers}
+
+
+def pick_placement_target(cluster: "MiniCluster",
+                          exclude=(),
+                          rates: Optional[Dict[str, float]] = None,
+                          ) -> Optional["RegionServer"]:
+    """THE shared target picker: least-loaded live server outside
+    ``exclude``, by the balancer's own score (so recovery, promotion
+    re-replication, follower placement and the balancer never disagree
+    on what "loaded" means and undo each other's work).  Returns None
+    when no candidate survives the exclusions — callers degrade (run
+    under-replicated, or relax the exclusion) rather than crash."""
+    excluded = set(exclude)
+    candidates = [s for s in cluster.servers.values()
+                  if s.alive and s.name not in excluded]
+    if not candidates:
+        return None
+    placement = getattr(cluster, "placement", None)
+    if placement is not None:
+        return min(candidates,
+                   key=lambda s: (placement.score_server(s, rates), s.name))
+    return min(candidates, key=lambda s: (len(s.regions), s.name))
 
 
 @dataclasses.dataclass
@@ -351,6 +380,28 @@ class PlacementManager:
             daughters.append(RegionInfo(name, job.table, key_range,
                                         server.name))
         master.replace_with_daughters(parent, daughters)
+        if parent.replica_servers:
+            # Splits split ALL replicas: each surviving parent follower
+            # becomes a follower of both daughters.  The close flushed
+            # the complete parent image into the (shared) store files, so
+            # the new followers' coverage through this instant is exact.
+            from repro.replication.promote import create_follower
+            now = self.sim.now()
+            for follower_name in list(parent.replica_servers):
+                follower = self.cluster.servers.get(follower_name)
+                if follower is not None:
+                    follower.remove_follower(parent.region_name)
+                if follower is None or not follower.alive:
+                    continue
+                for daughter in daughters:
+                    create_follower(self.cluster, daughter, follower,
+                                    caught_up_through=now)
+        if self.cluster.replication.enabled:
+            # Top back up if a parent follower had died (daughters would
+            # otherwise inherit the under-replication).
+            from repro.replication.promote import ensure_replicas
+            for daughter in daughters:
+                ensure_replicas(self.cluster, daughter)
         self.cluster.ddl.on_region_split(job.table, parent.region_name,
                                          daughters)
         hdfs.delete_store(job.table, parent.region_name)
@@ -378,6 +429,11 @@ class PlacementManager:
             return False
         if source is target:
             return True
+        if target_name in info.replica_servers:
+            # Anti-affinity: the target already holds a follower of this
+            # region; landing the leader there would co-locate two copies.
+            self.obs_move_failures.inc()
+            return False
         self._busy.add(region_name)
         try:
             closed = yield from self._close_region(source, table, region_name)
@@ -410,6 +466,14 @@ class PlacementManager:
                 self.cluster.hdfs.store_files(table, region_name))
             dest.add_region(region)
             master.reassign(current, dest.name)
+            if current.replica_servers:
+                # Still inside the yield-free commit: the close flushed
+                # the COMPLETE region image, so every follower hard-syncs
+                # to the store files with coverage through this instant
+                # ("one replica at a time": the leader moved, followers
+                # stay put and just resync).
+                from repro.replication.promote import resync_followers
+                resync_followers(self.cluster, current, self.sim.now())
             if dest is target:
                 self.obs_moves.inc()
                 return True
@@ -450,14 +514,23 @@ class PlacementManager:
                 return moves
             scores = {s.name: self.score_server(s, rates) for s in alive}
             hot = max(scores, key=lambda n: scores[n])
-            cold = min(scores, key=lambda n: scores[n])
+            # Cold pick through the SAME shared picker recovery and
+            # replica placement use (identical scoring + tie-break).
+            cold_server = pick_placement_target(self.cluster,
+                                                exclude=(hot,), rates=rates)
+            if cold_server is None:
+                return moves
+            cold = cold_server.name
             gap = scores[hot] - scores[cold]
             if gap <= cfg.min_score_gap:
                 return moves
             contrib = (lambda i: cfg.region_count_weight
                        + cfg.qps_weight * rates.get(i.region_name, 0.0))
+            # Anti-affinity: a region with a replica already on the cold
+            # server cannot move its leader there.
             movable = [i for i in self.cluster.master.regions_on(hot)
                        if i.region_name not in self._busy
+                       and cold not in replica_holders(i)
                        and contrib(i) < gap]
             if not movable:
                 return moves
@@ -507,6 +580,9 @@ class PlacementManager:
         for info in self.cluster.master.regions_on(server.name):
             score += (cfg.region_count_weight
                       + cfg.qps_weight * rates.get(info.region_name, 0.0))
+        # A hosted follower is roughly half a leader's load: it takes
+        # shipped writes and follower reads but no foreground write path.
+        score += 0.5 * cfg.region_count_weight * len(server.follower_regions)
         return score
 
 

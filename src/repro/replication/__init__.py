@@ -1,0 +1,36 @@
+"""``repro.replication``: N-way region replicas for the MiniCluster.
+
+Extends the single-copy serving layer with a leader/follower scheme:
+
+* every region gets ``replication_factor - 1`` follower replicas on
+  distinct servers (anti-affinity), fed by a leader-side WAL ship loop
+  that reuses the group-commit framing of the batched write path
+  (:mod:`repro.replication.ship`);
+* followers apply shipped records into their own memtables and track
+  two watermarks — applied seqno and a leader-clock coverage time —
+  from which every staleness bound is computed
+  (:mod:`repro.replication.replica`);
+* :class:`~repro.cluster.client.Client` grows a ``read_mode`` knob
+  spanning the consistency/latency spectrum: ``leader``, ``follower``
+  (bounded staleness), ``quorum`` (read-repair across a majority) and
+  :class:`LatencyBound` (fastest admissible replica, scatter-gather);
+* failover becomes *promotion*: recovery hands a replicated region to
+  its most caught-up follower and replays only the catch-up tail,
+  instead of the full WAL slice (:mod:`repro.replication.promote`).
+
+Everything is off at the default ``replication_factor=1``.
+"""
+
+from repro.replication.config import LatencyBound, ReadMode, ReplicationConfig
+from repro.replication.promote import (create_follower, ensure_replicas,
+                                       find_promotion_candidate,
+                                       promote_follower, resync_followers)
+from repro.replication.replica import FollowerReplica
+from repro.replication.ship import replication_ship_loop, ship_region_once
+
+__all__ = [
+    "ReplicationConfig", "ReadMode", "LatencyBound", "FollowerReplica",
+    "replication_ship_loop", "ship_region_once",
+    "create_follower", "ensure_replicas", "find_promotion_candidate",
+    "promote_follower", "resync_followers",
+]

@@ -1,0 +1,72 @@
+"""Replication knobs and the read-mode types the client accepts.
+
+``replication_factor=1`` (the default) keeps every region single-copy
+and the whole subsystem inert: no follower regions are placed, no ship
+loop is spawned, and recovery falls back to the classic full WAL replay
+— existing experiments are byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ReplicationConfig", "ReadMode", "LatencyBound"]
+
+
+@dataclasses.dataclass
+class ReplicationConfig:
+    """Cluster-wide replication knobs (``MiniCluster(replication=...)``).
+
+    Each region gets one leader plus ``replication_factor - 1`` followers
+    on distinct servers (anti-affinity).  The leader ships its WAL tail
+    to followers every ``ship_interval_ms`` in group-commit-framed
+    batches of up to ``ship_batch_size`` records; an empty ship doubles
+    as a heartbeat so a follower's coverage time — and therefore the
+    staleness it advertises — keeps advancing on an idle region.
+    ``max_staleness_ms`` is the default bound a ``read_mode="follower"``
+    client enforces before falling back to the leader.
+    """
+
+    replication_factor: int = 1
+    ship_interval_ms: float = 10.0
+    ship_batch_size: int = 128
+    max_staleness_ms: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, "
+                f"got {self.replication_factor!r}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.replication_factor > 1
+
+
+class ReadMode:
+    """Names for the client's consistency/latency read spectrum.
+
+    ``LEADER`` is today's linearizable-per-row read from the hosting
+    server; ``FOLLOWER`` is the bounded-staleness regime (the read
+    surfaces its measured lag and falls back to the leader past the
+    bound); ``QUORUM`` reads a majority and read-repairs stale
+    followers.  A :class:`LatencyBound` instance is the fourth mode.
+    """
+
+    LEADER = "leader"
+    FOLLOWER = "follower"
+    QUORUM = "quorum"
+
+    ALL = (LEADER, FOLLOWER, QUORUM)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBound:
+    """Latency-bounded read mode (Zhu et al.'s staging idea): hedge the
+    read across every replica and return the first answer whose
+    advertised staleness is within ``max_staleness_ms``; once
+    ``budget_ms`` of simulated time has elapsed, settle for the leader's
+    (always-fresh) answer instead of waiting for a faster follower."""
+
+    budget_ms: float
+    max_staleness_ms: float
