@@ -62,6 +62,11 @@ class ExperimentConfig:
     # Region replication (repro.replication); None keeps the classic
     # single-copy cluster.
     replication: Optional[object] = None
+    # Range-scan engine for every table ("remix" | "heap") and whether
+    # SSTables carry the learned block index; the scan bench A/Bs
+    # remix+learned vs heap+bisect (DESIGN.md §13).
+    scan_engine: str = "remix"
+    learned_index: bool = True
 
     def schema(self) -> ItemSchema:
         return ItemSchema(record_count=self.record_count,
@@ -86,7 +91,9 @@ class Experiment:
             num_servers=config.num_servers, model=model,
             server_config=server_config, seed=config.seed,
             staleness_sample_rate=config.staleness_sample_rate,
-            replication=config.replication)
+            replication=config.replication,
+            scan_engine=config.scan_engine,
+            learned_index=config.learned_index)
         self._build()
 
     def _build(self) -> None:

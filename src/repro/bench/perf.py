@@ -37,13 +37,22 @@ and a ``replication`` section (PR 6): promotion-based failover vs
 classic full WAL replay on an identical kill-the-leader scenario
 (client-felt unavailability in sim-ms), and per-scheme leader vs
 follower read p95 with the maximum advertised follower staleness
-checked against the configured bound.
+checked against the configured bound,
+
+and a ``scan`` section (PR 7): the range-scan engine A/B — REMIX
+cursor walk + learned block index vs the classic heap merge + bisect —
+on an identical aged dataset (several overlapping SSTables full of
+superseded versions) per scheme, sweeping selectivity 0.01%..10%.
+Reports per-point scan_table sim mean/p95, the remix cursor/fallback
+counters (steady state must be fallback-free), learned-index probe
+error and fallback totals, and an end-to-end INDEX_RANGE run at 1%.
+Headline: ``speedup_p95_at_1pct`` for sync-full, the CI floor.
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr6.json`` in the working directory).
+  ``BENCH_pr7.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -61,7 +70,7 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr6.json"
+DEFAULT_OUTPUT = "BENCH_pr7.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
@@ -539,6 +548,153 @@ def _replication_section(duration_ms: float,
     }
 
 
+def _scan_section(record_count: int, duration_ms: float,
+                  selectivities=(0.0001, 0.001, 0.01, 0.1),
+                  scans_per_point: int = 12,
+                  update_rounds: int = 3) -> Dict[str, object]:
+    """A/B the range-scan engine per scheme on an identical aged dataset.
+
+    Aging (whole-dataset full-row rewrite rounds, one SSTable per round
+    via an explicit flush, stopping below the compaction trigger) is what
+    makes the engines diverge: it leaves several overlapping SSTables in
+    which every pre-final-round block holds ONLY superseded versions.
+    The heap merge must open every in-range block of every table to
+    discover that; the remix cursor walk charges only the blocks that
+    hold a winning version, and its tombstone/ts pointers skip the rest.
+    A small block cache keeps the extra opens disk-priced, as at paper
+    scale.  Counters double as the steady-state acceptance check: the
+    measured scan loop must be fallback-free on the remix engine."""
+    from repro.lsm.types import KeyRange
+    from repro.sim.random import RandomStream
+
+    section: Dict[str, object] = {
+        "selectivities": list(selectivities),
+        "scans_per_point": scans_per_point,
+        "update_rounds": update_rounds,
+        "records": record_count,
+        "schemes": {},
+    }
+    for label in _SCHEMES:
+        per_engine: Dict[str, object] = {}
+        for engine in ("remix", "heap"):
+            exp = Experiment(ExperimentConfig(
+                record_count=record_count,
+                title_cardinality=record_count // 5,
+                scheme_label=label,
+                with_price_index=True,
+                block_cache_bytes=32 * 1024,
+                scan_engine=engine,
+                learned_index=engine == "remix"))
+            cluster = exp.cluster
+            client = cluster.new_client("ager")
+            rng = RandomStream(exp.config.seed + 7)
+
+            def flush_base_regions() -> None:
+                for server in cluster.alive_servers():
+                    for region in server.regions.values():
+                        if region.table.name != exp.TABLE:
+                            continue
+                        handle = region.tree.prepare_flush()
+                        if handle is not None:
+                            region.tree.complete_flush(handle)
+                            cluster.hdfs.set_store_files(
+                                exp.TABLE, region.name,
+                                region.tree._sstables)
+                            server.wal.roll_forward(region.name,
+                                                    handle.wal_seqno)
+
+            def one_round():
+                # Full-row rewrites: every cell of every row gets a newer
+                # version this round, so earlier rounds' blocks hold ONLY
+                # superseded versions — the structure the remix pointers
+                # can skip and the heap merge cannot.
+                for i in range(record_count):
+                    yield from client.put(
+                        exp.TABLE, exp.schema.rowkey(i),
+                        exp.schema.row_values(i, rng))
+            for _ in range(update_rounds):
+                cluster.run(one_round(), name="ager")
+                cluster.quiesce()
+                # One SSTable per round (the default flush threshold is
+                # far above a round's footprint, so the shape is exact:
+                # loaded table + one table per round, kept below the
+                # compaction trigger).
+                flush_base_regions()
+
+            metrics = cluster.metrics
+            cursor0 = metrics.total("remix_cursor_scans_total")
+            fallback0 = metrics.total("remix_fallback_scans_total")
+
+            scanner = cluster.new_client("scanner")
+            srng = RandomStream(exp.config.seed + 11)
+            runs: List[Dict[str, object]] = []
+            for selectivity in selectivities:
+                span = max(1, int(record_count * selectivity))
+                latencies: List[float] = []
+                for _ in range(scans_per_point):
+                    lo = srng.randint(0, max(0, record_count - span - 1))
+                    key_range = KeyRange(exp.schema.rowkey(lo),
+                                         exp.schema.rowkey(lo + span))
+                    t0 = cluster.sim.now()
+                    cluster.run(scanner.scan_table(exp.TABLE, key_range))
+                    latencies.append(cluster.sim.now() - t0)
+                latencies.sort()
+                runs.append({
+                    "selectivity": selectivity,
+                    "rows": span,
+                    "sim_mean_ms": round(
+                        sum(latencies) / len(latencies), 3),
+                    "sim_p95_ms": round(
+                        latencies[int(0.95 * (len(latencies) - 1))], 3),
+                })
+
+            # End-to-end INDEX_RANGE at 1% on the same aged cluster: the
+            # index-table scan plus its base-row fetches, per the paper's
+            # Figure 9 query shape (base point-gets dilute the ratio —
+            # the engine win lives in the scan_table numbers above).
+            e2e = exp.run_closed({OpType.INDEX_RANGE: 1.0}, num_threads=8,
+                                 duration_ms=duration_ms,
+                                 warmup_ms=duration_ms / 5,
+                                 range_selectivity=0.01)
+            e2e_stats = e2e.stats(OpType.INDEX_RANGE)
+
+            error_hist = metrics.merged_histogram("learned_index_probe_error")
+            per_engine[engine] = {
+                "runs": runs,
+                "index_range_1pct": {
+                    "sim_mean_ms": round(e2e_stats.mean_ms, 3),
+                    "sim_p95_ms": round(e2e_stats.p95_ms, 3),
+                    "sim_throughput_tps": round(
+                        e2e_stats.throughput_tps, 1),
+                },
+                "remix_cursor_scans": int(
+                    metrics.total("remix_cursor_scans_total") - cursor0),
+                "remix_fallback_scans": int(
+                    metrics.total("remix_fallback_scans_total") - fallback0),
+                "learned": {
+                    "probes": int(error_hist.count),
+                    "mean_error": round(error_hist.mean(), 3)
+                    if error_hist.count else 0.0,
+                    "max_error": error_hist.max if error_hist.count else 0,
+                    "fallbacks": int(
+                        metrics.total("learned_index_fallbacks_total")),
+                },
+            }
+        entry: Dict[str, object] = {"engines": per_engine}
+
+        def p95_at(engine: str, selectivity: float) -> float:
+            for run in per_engine[engine]["runs"]:
+                if run["selectivity"] == selectivity:
+                    return run["sim_p95_ms"]
+            return 0.0
+        remix_p95 = p95_at("remix", 0.01)
+        heap_p95 = p95_at("heap", 0.01)
+        entry["speedup_p95_at_1pct"] = round(
+            heap_p95 / remix_p95, 2) if remix_p95 else 0.0
+        section["schemes"][label] = entry
+    return section
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -554,7 +710,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     batch_rows = 320 if quick else 960
 
     report: Dict[str, object] = {
-        "bench": "pr6-replication-perf-baseline",
+        "bench": "pr7-scan-engine-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count, "batch_rows": batch_rows},
@@ -579,6 +735,10 @@ def run_perf_baseline(quick: Optional[bool] = None,
     report["placement"] = _placement_section(max(24, threads[-1]),
                                              duration_ms, record_count)
     report["replication"] = _replication_section(duration_ms, record_count)
+    report["scan"] = _scan_section(
+        800 if quick else record_count, duration_ms / 2,
+        scans_per_point=8 if quick else 16,
+        update_rounds=2 if quick else 3)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -655,4 +815,23 @@ def render_perf_report(report: Dict[str, object]) -> str:
                 f"{stats['max_follower_staleness_ms']:.1f} ms "
                 f"(bound {stats['staleness_bound_ms']:.0f}, "
                 f"within={stats['within_bound']})")
+    scan = report.get("scan")
+    if scan:
+        lines.append("  scan (remix cursor vs heap merge, sim-ms p95 by "
+                     "selectivity):")
+        for label, entry in sorted(scan["schemes"].items()):
+            for engine in ("remix", "heap"):
+                data = entry["engines"][engine]
+                points = " ".join(
+                    f"{run['selectivity'] * 100:g}%={run['sim_p95_ms']:.1f}"
+                    for run in data["runs"])
+                lines.append(
+                    f"    {label:>7}/{engine:<5} {points} "
+                    f"e2e@1% p95 "
+                    f"{data['index_range_1pct']['sim_p95_ms']:.1f} ms "
+                    f"(fallback scans {data['remix_fallback_scans']}, "
+                    f"learned fallbacks {data['learned']['fallbacks']})")
+            lines.append(
+                f"    {label:>7} speedup p95 @1% "
+                f"{entry['speedup_p95_at_1pct']:.2f}x")
     return "\n".join(lines)

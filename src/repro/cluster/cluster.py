@@ -55,7 +55,16 @@ class MiniCluster:
                  fault_plan: Optional[FaultPlan] = None,
                  heartbeat_timeout_ms: float = 2000.0,
                  placement: Optional["PlacementConfig"] = None,
-                 replication: Optional[ReplicationConfig] = None):
+                 replication: Optional[ReplicationConfig] = None,
+                 scan_engine: str = "remix",
+                 learned_index: bool = True):
+        if scan_engine not in ("remix", "heap"):
+            raise ValueError(f"unknown scan engine {scan_engine!r}")
+        # Default range-scan engine and block-index flavour for every
+        # table this cluster creates (DESIGN.md §13); per-table override
+        # via create_table.
+        self.scan_engine = scan_engine
+        self.learned_index = learned_index
         self.sim = Simulator()
         self.replication = replication or ReplicationConfig()
         self.model = model or LatencyModel()
@@ -175,11 +184,16 @@ class MiniCluster:
                      split_keys: Optional[List[bytes]] = None,
                      max_versions: int = 3,
                      flush_threshold_bytes: int = 256 * 1024,
-                     block_bytes: int = 4096) -> TableDescriptor:
+                     block_bytes: int = 4096,
+                     scan_engine: Optional[str] = None,
+                     learned_index: Optional[bool] = None) -> TableDescriptor:
         descriptor = TableDescriptor(
             name, TableKind.BASE, max_versions=max_versions,
             flush_threshold_bytes=flush_threshold_bytes,
-            block_bytes=block_bytes)
+            block_bytes=block_bytes,
+            scan_engine=scan_engine or self.scan_engine,
+            learned_index=(self.learned_index if learned_index is None
+                           else learned_index))
         self.master.create_table(descriptor, split_keys=split_keys)
         return descriptor
 
@@ -224,7 +238,9 @@ class MiniCluster:
             max_versions=base.max_versions,
             flush_threshold_bytes=base.flush_threshold_bytes,
             block_bytes=base.block_bytes,
-            prefix_compression=prefix_compression)
+            prefix_compression=prefix_compression,
+            scan_engine=base.scan_engine,
+            learned_index=base.learned_index)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.ACTIVE)
         if backfill:
@@ -256,7 +272,9 @@ class MiniCluster:
             max_versions=base.max_versions,
             flush_threshold_bytes=base.flush_threshold_bytes,
             block_bytes=base.block_bytes,
-            prefix_compression=prefix_compression)
+            prefix_compression=prefix_compression,
+            scan_engine=base.scan_engine,
+            learned_index=base.learned_index)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.BUILDING)
         return self.ddl.submit_create(stamped)

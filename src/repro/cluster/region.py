@@ -89,6 +89,8 @@ class Region:
             block_bytes=table.block_bytes,
             max_versions=table.max_versions,
             prefix_compression=table.prefix_compression,
+            remix_enabled=table.scan_engine == "remix",
+            learned_index=table.learned_index,
             compaction=CompactionPolicy())
         self.tree = LSMTree(name=name, config=config, cache=cache, seed=seed)
         self.locks = RowLocks()

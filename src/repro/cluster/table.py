@@ -35,6 +35,12 @@ class TableDescriptor:
     flush_threshold_bytes: int = 256 * 1024
     block_bytes: int = 4096
     prefix_compression: bool = False
+    # Range-scan engine for this table's regions: "remix" keeps a REMIX-
+    # style cross-SSTable sorted view (one cursor walk per scan), "heap"
+    # is the classic per-SSTable K-way merge (DESIGN.md §13).
+    scan_engine: str = "remix"
+    # Learned (ε-bounded PLR) per-SSTable block index vs plain bisect.
+    learned_index: bool = True
     # Index descriptors attached to this (base) table — the catalog keeps
     # a copy in the table descriptor, as BigInsights does (§7).
     indexes: Dict[str, "IndexDescriptor"] = dataclasses.field(default_factory=dict)

@@ -11,7 +11,9 @@ from repro.lsm.bloom import BloomFilter
 from repro.lsm.cache import BlockCache
 from repro.lsm.compaction import CompactionPolicy, compact_sstables
 from repro.lsm.iterators import merge_key_streams, resolve_get, resolve_versions
+from repro.lsm.learned import LearnedBlockIndex
 from repro.lsm.memtable import MemTable
+from repro.lsm.remix import RemixView
 from repro.lsm.skiplist import SkipList
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.tree import FlushHandle, LSMConfig, LSMTree, ReadStats
@@ -25,4 +27,5 @@ __all__ = [
     "CompactionPolicy", "compact_sstables",
     "resolve_get", "resolve_versions", "merge_key_streams",
     "LSMTree", "LSMConfig", "ReadStats", "FlushHandle",
+    "RemixView", "LearnedBlockIndex",
 ]

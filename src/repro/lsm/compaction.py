@@ -77,10 +77,12 @@ def _sstable_stream(sstable: SSTable) -> Iterator[Tuple[bytes, List[Cell]]]:
 def compact_sstables(sstables: Sequence[SSTable], max_versions: int,
                      major: bool, block_bytes: int,
                      name: str = "",
-                     prefix_compression: bool = False) -> CompactionResult:
+                     prefix_compression: bool = False,
+                     learned_epsilon: Optional[int] = None) -> CompactionResult:
     """Pure merge of ``sstables`` into one output table."""
     builder = SSTableBuilder(block_bytes=block_bytes, name=name,
-                             prefix_compression=prefix_compression)
+                             prefix_compression=prefix_compression,
+                             learned_epsilon=learned_epsilon)
     cells_read = 0
     cells_written = 0
     dropped_tombstones = 0

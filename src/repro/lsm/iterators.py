@@ -65,9 +65,16 @@ def merge_key_streams(
     streams: Sequence[Iterator[Tuple[bytes, List[Cell]]]],
 ) -> Iterator[Tuple[bytes, List[Cell]]]:
     """Heap-merge several ordered ``(key, versions)`` streams into one,
-    concatenating the version lists of equal keys.
+    combining the version lists of equal keys newest-first.
 
-    Each input stream must yield strictly increasing keys.  Used by scans
+    Each input stream must yield strictly increasing keys, with each
+    version list newest-first (every component satisfies both).  When
+    several streams collide on one key, the merged list is sorted
+    newest-first ONCE here — a single stable pass over mostly-sorted
+    input — so downstream consumers (``resolve_versions``, compaction)
+    hit their already-ordered fast path instead of re-sorting per key.
+    The stable sort preserves stream priority at equal timestamps: the
+    lower-indexed (newer) stream's cells stay first.  Used by scans
     (memtable + every SSTable) and by compaction.
     """
     heap: List[Tuple[bytes, int, List[Cell], Iterator[Tuple[bytes, List[Cell]]]]] = []
@@ -82,12 +89,16 @@ def merge_key_streams(
     while heap:
         key, idx, cells, stream = heapq.heappop(heap)
         merged = list(cells)
+        collided = False
         # Pull every stream currently positioned at the same key.
         while heap and heap[0][0] == key:
             _, nidx, ncells, nstream = heapq.heappop(heap)
             merged.extend(ncells)
+            collided = True
             _advance(heap, nidx, nstream)
         _advance(heap, idx, stream)
+        if collided:
+            merged.sort(key=lambda c: -c.ts)
         yield key, merged
 
 

@@ -1,0 +1,163 @@
+"""Learned in-table key lookup: a piecewise-linear block index.
+
+Every SSTable keeps a sparse block index (``_block_first_keys``) and pays
+a binary search over it per point lookup and per range-scan open.  The
+LearnedKV / "Pragmatic Learned Indexing in RocksDB" observation is that
+real key distributions are locally near-linear, so a *greedy bounded-error
+piecewise-linear regression* (PLR) over ``(key-as-number, block_id)``
+points predicts the block id directly; a local probe of at most ``±ε``
+block-index entries corrects the prediction.  When the probe window does
+not contain the answer (the numeric key mapping is lossy: keys sharing a
+long prefix collapse onto one x), the lookup falls back to the exact
+binary search and counts the miss — correctness never depends on the
+model.
+
+The model is built lazily on first use and only for tables with at least
+:data:`MIN_BLOCKS` blocks: below that, ``bisect`` over a handful of keys
+beats any model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["LearnedBlockIndex", "key_to_number", "build_plr_segments",
+           "MIN_BLOCKS", "KEY_PREFIX_BYTES", "DEFAULT_EPSILON"]
+
+# Tables with fewer blocks than this skip the model entirely.
+MIN_BLOCKS = 8
+# Fixed-width numeric embedding of a byte key: the first 16 bytes,
+# zero-padded, as a big-endian integer.  Keys differing only beyond this
+# prefix collapse onto one x and are covered by the fallback path.
+KEY_PREFIX_BYTES = 16
+DEFAULT_EPSILON = 8
+
+_PAD = b"\x00" * KEY_PREFIX_BYTES
+
+
+def key_to_number(key: bytes) -> int:
+    """Order-preserving (on the first 16 bytes) numeric embedding."""
+    if len(key) >= KEY_PREFIX_BYTES:
+        return int.from_bytes(key[:KEY_PREFIX_BYTES], "big")
+    return int.from_bytes(key + _PAD[len(key):], "big")
+
+
+def build_plr_segments(xs: Sequence[int],
+                       epsilon: int) -> List[Tuple[int, int, int, float]]:
+    """Greedy bounded-error PLR over the points ``(xs[i], i)``.
+
+    Returns segments ``(x0, y0, y_last, slope)``: within a segment the
+    prediction ``y0 + slope * (x - x0)`` is within ``±epsilon`` of the
+    true position for every training point.  Duplicate x values (keys
+    sharing the 16-byte prefix) terminate a segment — they cannot be
+    separated by any slope — and are handled by the lookup fallback.
+
+    The greedy cone construction is O(n): keep the interval of slopes
+    that still fits every point seen, shrink it per point, and cut a new
+    segment when it empties.
+    """
+    segments: List[Tuple[int, int, int, float]] = []
+    n = len(xs)
+    i = 0
+    while i < n:
+        x0, y0 = xs[i], i
+        lo, hi = float("-inf"), float("inf")
+        j = i + 1
+        while j < n:
+            dx = xs[j] - x0
+            if dx <= 0:  # duplicate embedding: no slope separates them
+                break
+            dy = j - y0
+            new_lo = (dy - epsilon) / dx
+            new_hi = (dy + epsilon) / dx
+            lo = max(lo, new_lo)
+            hi = min(hi, new_hi)
+            if lo > hi:
+                break
+            j += 1
+        last = j - 1
+        if last == i:
+            slope = 0.0
+        elif lo == float("-inf"):  # unreachable; defensive
+            slope = 0.0  # pragma: no cover
+        else:
+            slope = (lo + hi) / 2.0
+        segments.append((x0, y0, last, slope))
+        i = j if j > i else i + 1
+    return segments
+
+
+class LearnedBlockIndex:
+    """ε-bounded PLR over one SSTable's block-index keys.
+
+    ``lookup`` answers the same question as
+    ``bisect_right(first_keys, key) - 1``: the rightmost block whose
+    first key is <= ``key`` (callers guarantee ``key >= first_keys[0]``).
+    """
+
+    __slots__ = ("_first_keys", "epsilon", "_segments", "_seg_xs",
+                 "probes", "fallbacks", "max_error",
+                 "_obs_error", "_obs_fallbacks")
+
+    def __init__(self, first_keys: Sequence[bytes],
+                 epsilon: int = DEFAULT_EPSILON):
+        self._first_keys = first_keys
+        self.epsilon = epsilon
+        xs = [key_to_number(k) for k in first_keys]
+        self._segments = build_plr_segments(xs, epsilon)
+        self._seg_xs = [seg[0] for seg in self._segments]
+        self.probes = 0
+        self.fallbacks = 0
+        self.max_error = 0
+        self._obs_error = None
+        self._obs_fallbacks = None
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def bind_metrics(self, error_histogram, fallback_counter) -> None:
+        """Point probe-error / fallback accounting at repro.obs handles
+        (the hosting LSM tree wires these; see LSMTree.bind_metrics)."""
+        self._obs_error = error_histogram
+        self._obs_fallbacks = fallback_counter
+
+    def lookup(self, key: bytes) -> int:
+        """Rightmost block id with ``first_keys[id] <= key``."""
+        first_keys = self._first_keys
+        n = len(first_keys)
+        x = key_to_number(key)
+        si = bisect_right(self._seg_xs, x) - 1
+        if si < 0:
+            si = 0
+        x0, y0, y_last, slope = self._segments[si]
+        pred = int(y0 + slope * (x - x0) + 0.5)
+        if pred < y0:
+            pred = y0
+        elif pred > y_last:
+            pred = y_last
+        lo = pred - self.epsilon
+        if lo < 0:
+            lo = 0
+        hi = pred + self.epsilon
+        if hi > n - 1:
+            hi = n - 1
+        self.probes += 1
+        if first_keys[lo] <= key:
+            cand = bisect_right(first_keys, key, lo, hi + 1) - 1
+            # The windowed answer is final unless it sits on the window's
+            # upper edge with more qualifying blocks beyond it.
+            if cand < hi or cand == n - 1 or first_keys[cand + 1] > key:
+                error = cand - pred if cand >= pred else pred - cand
+                if error > self.max_error:
+                    self.max_error = error
+                if self._obs_error is not None:
+                    self._obs_error.observe(error)
+                return cand
+        # ε bound violated (lossy embedding or edge-of-window): exact search.
+        self.fallbacks += 1
+        if self._obs_fallbacks is not None:
+            self._obs_fallbacks.inc()
+        idx = bisect_right(first_keys, key) - 1
+        return idx if idx > 0 else 0

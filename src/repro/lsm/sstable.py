@@ -13,11 +13,12 @@ the block cache or the simulated disk, which is where the paper's
 from __future__ import annotations
 
 import itertools
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.lsm.bloom import BloomFilter
+from repro.lsm.learned import DEFAULT_EPSILON, LearnedBlockIndex, MIN_BLOCKS
 from repro.lsm.types import Cell, KeyRange, cell_size
 
 __all__ = ["SSTable", "SSTableBuilder", "DEFAULT_BLOCK_BYTES",
@@ -56,13 +57,20 @@ class SSTable:
     """Sealed sorted run.  Construct through :class:`SSTableBuilder`."""
 
     def __init__(self, blocks: List[List[Cell]], bloom: BloomFilter,
-                 name: str = "", prefix_compressed: bool = False):
+                 name: str = "", prefix_compressed: bool = False,
+                 learned_epsilon: Optional[int] = DEFAULT_EPSILON):
         if not blocks:
             raise StorageError("SSTable must contain at least one block")
         self.sstable_id = next(_sstable_ids)
         self.name = name or f"sstable-{self.sstable_id}"
         self._blocks = blocks
         self._block_first_keys = [block[0].key for block in blocks]
+        # Learned block index (repro.lsm.learned): built lazily on first
+        # lookup, and only when the block index is big enough to beat a
+        # plain bisect.  ``None`` epsilon disables the model for good.
+        self._learned_epsilon = learned_epsilon
+        self._learned: Optional[LearnedBlockIndex] = None
+        self._learned_obs: Optional[Tuple] = None
         self.bloom = bloom
         self.prefix_compressed = prefix_compressed
         self.min_key = blocks[0][0].key
@@ -93,6 +101,32 @@ class SSTable:
     def get_block(self, block_id: int) -> Sequence[Cell]:
         return self._blocks[block_id]
 
+    def cell_at(self, block_id: int, slot: int) -> Cell:
+        """Direct pointer dereference — how a REMIX cursor fetches the one
+        winning version without re-searching the block."""
+        return self._blocks[block_id][slot]
+
+    # -- learned block index --------------------------------------------------
+
+    @property
+    def learned_index(self) -> Optional[LearnedBlockIndex]:
+        """The PLR model over ``_block_first_keys`` (lazily built; ``None``
+        when disabled or the table is too small to benefit)."""
+        if self._learned is None and self._learned_epsilon is not None \
+                and len(self._block_first_keys) >= MIN_BLOCKS:
+            self._learned = LearnedBlockIndex(self._block_first_keys,
+                                              self._learned_epsilon)
+            if self._learned_obs is not None:
+                self._learned.bind_metrics(*self._learned_obs)
+        return self._learned
+
+    def bind_learned_metrics(self, error_histogram, fallback_counter) -> None:
+        """Wire probe-error / fallback accounting (set by the hosting LSM
+        tree; kept even if the model is not built yet)."""
+        self._learned_obs = (error_histogram, fallback_counter)
+        if self._learned is not None:
+            self._learned.bind_metrics(error_histogram, fallback_counter)
+
     # -- lookup planning ------------------------------------------------------
 
     def may_contain(self, key: bytes) -> bool:
@@ -105,19 +139,41 @@ class SSTable:
         """The single block that could hold ``key``, or ``None``."""
         if key < self.min_key or key > self.max_key:
             return None
+        learned = self.learned_index
+        if learned is not None:
+            return learned.lookup(key)
         idx = bisect_right(self._block_first_keys, key) - 1
         return max(idx, 0)
 
     def blocks_for_range(self, key_range: KeyRange) -> range:
-        """Ids of blocks overlapping ``key_range`` (possibly empty)."""
+        """Ids of blocks overlapping ``key_range`` (possibly empty).
+
+        Clamped on both sides: an empty or inverted range, a range ending
+        at or below the table's first key, and a range whose (exclusive)
+        end equals a block's first key all exclude the non-overlapping
+        blocks rather than returning them for the scan loop to discard.
+        """
+        if key_range.is_empty():
+            return range(0)
         if key_range.end is not None and key_range.end <= self.min_key:
             return range(0)
         if key_range.start > self.max_key:
             return range(0)
-        start_idx = max(bisect_right(self._block_first_keys, key_range.start) - 1, 0)
+        first_keys = self._block_first_keys
+        if key_range.start <= self.min_key:
+            start_idx = 0
+        else:
+            learned = self.learned_index
+            if learned is not None:
+                start_idx = learned.lookup(key_range.start)
+            else:
+                start_idx = max(bisect_right(first_keys,
+                                             key_range.start) - 1, 0)
         if key_range.end is None:
             return range(start_idx, len(self._blocks))
-        end_idx = bisect_right(self._block_first_keys, key_range.end)
+        # bisect_left: a block whose FIRST key equals the exclusive end
+        # holds only keys >= end and must not be opened.
+        end_idx = bisect_left(first_keys, key_range.end, start_idx)
         return range(start_idx, min(end_idx, len(self._blocks)))
 
     # -- direct (cost-free) access for compaction & tests ---------------------
@@ -150,11 +206,13 @@ class SSTableBuilder:
 
     def __init__(self, block_bytes: int = DEFAULT_BLOCK_BYTES,
                  bloom_fp_rate: float = 0.01, name: str = "",
-                 prefix_compression: bool = False):
+                 prefix_compression: bool = False,
+                 learned_epsilon: Optional[int] = DEFAULT_EPSILON):
         self.block_bytes = block_bytes
         self.bloom_fp_rate = bloom_fp_rate
         self.name = name
         self.prefix_compression = prefix_compression
+        self.learned_epsilon = learned_epsilon
         self._blocks: List[List[Cell]] = []
         self._current: List[Cell] = []
         self._current_bytes = 0
@@ -199,4 +257,5 @@ class SSTableBuilder:
         bloom = BloomFilter.build(self._keys, expected_items=len(self._keys),
                                   false_positive_rate=self.bloom_fp_rate)
         return SSTable(self._blocks, bloom, name=self.name,
-                       prefix_compressed=self.prefix_compression)
+                       prefix_compressed=self.prefix_compression,
+                       learned_epsilon=self.learned_epsilon)

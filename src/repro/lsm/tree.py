@@ -17,13 +17,17 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
+from bisect import bisect_left
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.lsm.cache import BlockCache
 from repro.lsm.compaction import CompactionPolicy, CompactionResult, compact_sstables
 from repro.lsm.iterators import merge_key_streams, resolve_get, resolve_versions
+from repro.lsm.learned import DEFAULT_EPSILON
 from repro.lsm.memtable import MemTable
+from repro.lsm.remix import RemixView
 from repro.lsm.sstable import DEFAULT_BLOCK_BYTES, SSTable, SSTableBuilder
 from repro.lsm.types import Cell, KeyRange
 
@@ -41,6 +45,16 @@ class LSMConfig:
     # Prefix-compress on-disk blocks (index tables benefit most: entries
     # sharing an indexed value share long key prefixes) — §10 future work.
     prefix_compression: bool = False
+    # Range-scan engine (DESIGN.md §13): keep a REMIX-style cross-SSTable
+    # sorted view so scans are one cursor walk instead of a K-way heap
+    # merge.  Off = the classic merge_key_streams path, which also serves
+    # as the fallback whenever the view is stale.
+    remix_enabled: bool = True
+    # Learned (greedy-PLR, ε-bounded) per-SSTable block index replacing
+    # the bisect over _block_first_keys; falls back to exact search when
+    # the error bound is violated.
+    learned_index: bool = True
+    learned_epsilon: int = DEFAULT_EPSILON
     compaction: CompactionPolicy = dataclasses.field(default_factory=CompactionPolicy)
 
 
@@ -89,6 +103,17 @@ class LSMTree:
         self._obs_flush_cells = None
         self._obs_compactions = None
         self._obs_compaction_cells = None
+        self._obs_remix_builds = None
+        self._obs_remix_build_ms = None
+        self._obs_remix_cursor = None
+        self._obs_remix_fallback = None
+        self._obs_learned_error = None
+        self._obs_learned_fallbacks = None
+        # The REMIX sorted view over the current SSTable set (DESIGN.md
+        # §13).  Maintained incrementally at flush/compaction and rebuilt
+        # on store relink; None only when the engine is disabled.
+        self._remix_view: Optional[RemixView] = (
+            RemixView.empty() if self.config.remix_enabled else None)
 
     def bind_metrics(self, registry, **labels) -> None:
         """Attach this tree's memtable/flush/compaction counters to a
@@ -102,6 +127,66 @@ class LSMTree:
         self._obs_compactions = registry.counter("lsm_compactions", **labels)
         self._obs_compaction_cells = registry.counter(
             "lsm_compaction_cells_read", **labels)
+        self._obs_remix_builds = registry.counter("remix_view_builds_total",
+                                                  **labels)
+        self._obs_remix_build_ms = registry.histogram("remix_build_ms",
+                                                      **labels)
+        self._obs_remix_cursor = registry.counter("remix_cursor_scans_total",
+                                                  **labels)
+        self._obs_remix_fallback = registry.counter(
+            "remix_fallback_scans_total", **labels)
+        self._obs_learned_error = registry.histogram(
+            "learned_index_probe_error", **labels)
+        self._obs_learned_fallbacks = registry.counter(
+            "learned_index_fallbacks_total", **labels)
+        for sstable in self._sstables:
+            self._bind_table_obs(sstable)
+
+    def _bind_table_obs(self, sstable: SSTable) -> None:
+        if self._obs_learned_error is not None:
+            sstable.bind_learned_metrics(self._obs_learned_error,
+                                         self._obs_learned_fallbacks)
+
+    def _table_builder(self, name: str) -> SSTableBuilder:
+        config = self.config
+        return SSTableBuilder(
+            block_bytes=config.block_bytes,
+            bloom_fp_rate=config.bloom_fp_rate, name=name,
+            prefix_compression=config.prefix_compression,
+            learned_epsilon=(config.learned_epsilon
+                             if config.learned_index else None))
+
+    # ------------------------------------------------------------- remix view
+
+    @property
+    def remix_view(self) -> Optional[RemixView]:
+        return self._remix_view
+
+    @property
+    def remix_fresh(self) -> bool:
+        """True when the next scan will walk the view (no fallback)."""
+        return (self._remix_view is not None
+                and self._remix_view.covers(self._sstables))
+
+    def invalidate_remix_view(self) -> None:
+        """Drop the view; scans fall back to the heap merge until the next
+        flush/compaction/relink rebuilds it."""
+        self._remix_view = None
+
+    def rebuild_remix_view(self) -> None:
+        """Full rebuild over the current SSTable set (store relink)."""
+        if not self.config.remix_enabled:
+            return
+        self._set_remix_view(lambda: RemixView.build(self._sstables))
+
+    def _set_remix_view(self, build) -> None:
+        """Run one view build/merge step, with build-time accounting."""
+        start = time.perf_counter()
+        self._remix_view = build()
+        if self._obs_remix_builds is not None:
+            self._obs_remix_builds.inc()
+            self._obs_remix_build_ms.observe(
+                (time.perf_counter() - start) * 1000.0)
 
     # ------------------------------------------------------------------ write
 
@@ -147,12 +232,20 @@ class LSMTree:
         """Materialise the sealed memtable as an SSTable (Figure 2(b))."""
         if handle not in self._flushing:
             raise StorageError("unknown flush handle")
-        builder = SSTableBuilder(block_bytes=self.config.block_bytes,
-                                 bloom_fp_rate=self.config.bloom_fp_rate,
-                                 name=f"{self.name}/flush-{handle.flush_id}",
-                                 prefix_compression=self.config.prefix_compression)
+        builder = self._table_builder(f"{self.name}/flush-{handle.flush_id}")
         builder.add_all(handle.memtable.all_cells())
         sstable = builder.finish()
+        self._bind_table_obs(sstable)
+        if self.config.remix_enabled:
+            # Incremental view maintenance: fold the new (newest) table
+            # into the retiring view rather than rebuilding from scratch.
+            # A stale/absent view is rebuilt over the full new set.
+            old = self._remix_view
+            if old is not None and old.covers(self._sstables):
+                self._set_remix_view(lambda: old.merge_flush(sstable))
+            else:
+                self._set_remix_view(
+                    lambda: RemixView.build([sstable] + self._sstables))
         self._sstables.insert(0, sstable)
         self._flushing.remove(handle)
         if self._obs_flushes is not None:
@@ -166,7 +259,20 @@ class LSMTree:
         components again (newest-first order preserved)."""
         if self._sstables:
             raise StorageError("adopt_sstables on a non-empty tree")
+        self.relink_sstables(sstables)
+
+    def relink_sstables(self, sstables) -> None:
+        """Swap the disk component set wholesale (split/move adoption,
+        follower relink, promotion).  Any existing REMIX view was built
+        over the OLD set, so it is invalidated and rebuilt over the new
+        files — the freshness check would otherwise force every scan onto
+        the fallback path until the next flush."""
         self._sstables = list(sstables)
+        for sstable in self._sstables:
+            self._bind_table_obs(sstable)
+        self._remix_view = None
+        if self.config.remix_enabled:
+            self.rebuild_remix_view()
 
     # ------------------------------------------------------------- compaction
 
@@ -188,11 +294,24 @@ class LSMTree:
             chosen, max_versions=self.config.max_versions, major=is_major,
             block_bytes=self.config.block_bytes,
             name=f"{self.name}/compact-{self._compactions_done + 1}",
-            prefix_compression=self.config.prefix_compression)
+            prefix_compression=self.config.prefix_compression,
+            learned_epsilon=(self.config.learned_epsilon
+                             if self.config.learned_index else None))
         chosen_ids = {t.sstable_id for t in chosen}
         remaining = [t for t in self._sstables if t.sstable_id not in chosen_ids]
         if result.output is not None:
+            self._bind_table_obs(result.output)
             remaining.append(result.output)  # merged data is the oldest layer
+        if self.config.remix_enabled:
+            # Incremental view maintenance: drop the retired inputs'
+            # pointers from the retiring view and fold in the output (the
+            # oldest surviving layer); full rebuild only if already stale.
+            old = self._remix_view
+            if old is not None and old.covers(self._sstables):
+                self._set_remix_view(
+                    lambda: old.merge_compaction(chosen_ids, result.output))
+            else:
+                self._set_remix_view(lambda: RemixView.build(remaining))
         self._sstables = remaining
         if self.cache is not None:
             for table in chosen:
@@ -284,7 +403,27 @@ class LSMTree:
     def scan(self, key_range: KeyRange, max_ts: Optional[int] = None,
              limit: Optional[int] = None,
              stats: Optional[ReadStats] = None) -> List[Cell]:
-        """Visible newest version per key within ``key_range``, key order."""
+        """Visible newest version per key within ``key_range``, key order.
+
+        Dispatches to the REMIX cursor walk when the sorted view is fresh
+        (DESIGN.md §13); a stale or disabled view falls back to the
+        classic K-way heap merge, so results never depend on view
+        freshness — only the touched-block accounting does.
+        """
+        if self.config.remix_enabled:
+            view = self._remix_view
+            if view is not None and view.covers(self._sstables):
+                if self._obs_remix_cursor is not None:
+                    self._obs_remix_cursor.inc()
+                return self._scan_remix(view, key_range, max_ts, limit, stats)
+            if self._obs_remix_fallback is not None:
+                self._obs_remix_fallback.inc()
+        return self._scan_heap(key_range, max_ts, limit, stats)
+
+    def _scan_heap(self, key_range: KeyRange, max_ts: Optional[int],
+                   limit: Optional[int],
+                   stats: Optional[ReadStats]) -> List[Cell]:
+        """The classic path: heap-merge one stream per component."""
         streams: List[Iterator[Tuple[bytes, List[Cell]]]] = []
         for memtable in [self._memtable] + [h.memtable for h in self._flushing]:
             streams.append(self._memtable_stream(memtable, key_range))
@@ -303,6 +442,123 @@ class LSMTree:
                 if limit is not None and len(out) >= limit:
                     break
         return out
+
+    def _scan_remix(self, view: RemixView, key_range: KeyRange,
+                    max_ts: Optional[int], limit: Optional[int],
+                    stats: Optional[ReadStats]) -> List[Cell]:
+        """One cursor walk over the sorted view, merged with the (few,
+        usually one) memtable streams by plain comparison — no ``heapq``,
+        no per-SSTable iterators, and a block fetch only for the single
+        winning version of each key.  Tombstone skip metadata in the
+        pointers means a deleted key costs zero block reads."""
+        tables = {t.sstable_id: t for t in self._sstables}
+        heads: List[List] = []   # [key, versions, iterator], live memtables
+        for memtable in [self._memtable] + [h.memtable for h in self._flushing]:
+            if stats is not None:
+                stats.memtable_probes += 1
+            stream = memtable.scan(key_range)
+            try:
+                key, versions = next(stream)
+            except StopIteration:
+                continue
+            heads.append([key, versions, stream])
+
+        vi, vend = view.cursor(key_range.start, key_range.end)
+        keys, entries = view.keys, view.entries
+        charged = set()   # (table_id, block_id) pairs already accounted
+        out: List[Cell] = []
+
+        while True:
+            next_key: Optional[bytes] = None
+            if vi < vend:
+                next_key = keys[vi]
+            for head in heads:
+                if next_key is None or head[0] < next_key:
+                    next_key = head[0]
+            if next_key is None:
+                break
+
+            mem_cells: List[Cell] = []
+            for head in heads:
+                if head[0] == next_key:
+                    mem_cells.extend(head[1])
+            pointers = entries[vi] if vi < vend and keys[vi] == next_key else ()
+
+            visible = self._resolve_at_cursor(mem_cells, pointers, tables,
+                                              max_ts, stats, charged)
+            if visible is not None:
+                out.append(visible)
+                if limit is not None and len(out) >= limit:
+                    break
+
+            if vi < vend and keys[vi] == next_key:
+                vi += 1
+            i = 0
+            while i < len(heads):
+                head = heads[i]
+                if head[0] == next_key:
+                    try:
+                        head[0], head[1] = next(head[2])
+                    except StopIteration:
+                        heads.pop(i)
+                        continue
+                i += 1
+        return out
+
+    def _resolve_at_cursor(self, mem_cells: List[Cell], pointers,
+                           tables, max_ts: Optional[int],
+                           stats: Optional[ReadStats],
+                           charged: set) -> Optional[Cell]:
+        """Version resolution for ONE key straight off the view pointers.
+
+        Both inputs are newest-first with tombstones ordered before values
+        at equal ts, which is exactly the precedence
+        :func:`resolve_versions` applies to the merged heap stream: the
+        first admissible (ts <= max_ts) item decides — a tombstone masks
+        everything at or below its ts, a value wins outright.  Memtable
+        cells outrank pointers on full ties (same ts, same kind), matching
+        the heap path's stream ordering; either way the bytes agree, since
+        equal-ts duplicates are idempotent re-deliveries by design."""
+        if len(mem_cells) > 1:
+            # Memtable version lists sort by ts only (equal-ts value/tomb
+            # keep insertion order) and concatenating several memtables
+            # breaks ts order entirely; the walk below needs rank order.
+            mem_cells = sorted(
+                mem_cells, key=lambda c: (-c.ts, 0 if c.is_tombstone else 1))
+        mi = pi = 0
+        nm, np_ = len(mem_cells), len(pointers)
+        while mi < nm or pi < np_:
+            if mi < nm:
+                cell = mem_cells[mi]
+                mem_rank = (-cell.ts, 0 if cell.is_tombstone else 1)
+            else:
+                cell = None
+                mem_rank = None
+            if pi < np_:
+                pointer = pointers[pi]
+                ptr_rank = (-pointer[0], 0 if pointer[1] else 1)
+            else:
+                pointer = None
+                ptr_rank = None
+            take_mem = ptr_rank is None or (mem_rank is not None
+                                            and mem_rank <= ptr_rank)
+            if take_mem:
+                mi += 1
+                if max_ts is not None and cell.ts > max_ts:
+                    continue
+                return None if cell.is_tombstone else cell
+            pi += 1
+            ts, tomb, table_id, block_id, slot = pointer
+            if max_ts is not None and ts > max_ts:
+                continue
+            if tomb:
+                return None   # skip metadata: masked key, zero block reads
+            sstable = tables[table_id]
+            if (table_id, block_id) not in charged:
+                charged.add((table_id, block_id))
+                self._charge_block(sstable, block_id, stats)
+            return sstable.cell_at(block_id, slot)
+        return None
 
     # ----------------------------------------------------------------- stats
 

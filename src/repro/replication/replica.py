@@ -79,7 +79,7 @@ class FollowerReplica:
         if rolled_seqno <= self.relinked_seqno:
             return
         tree = self.region.tree
-        tree._sstables = list(store_files)
+        tree.relink_sstables(list(store_files))
         tree._memtable = MemTable(seed=tree._seed)
         survivors = [r for r in self.tail if r.seqno > rolled_seqno]
         for record in survivors:
@@ -101,7 +101,7 @@ class FollowerReplica:
         with the layout change, which is what makes ``leader_time`` an
         exact coverage claim."""
         tree = self.region.tree
-        tree._sstables = list(store_files)
+        tree.relink_sstables(list(store_files))
         tree._memtable = MemTable(seed=tree._seed)
         self.tail = []
         if self.applied_seqno > self.relinked_seqno:

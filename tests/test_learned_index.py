@@ -1,0 +1,147 @@
+"""repro.lsm.learned: the ε-bounded PLR block index.
+
+DESIGN.md §13 invariants under test:
+
+* ``lookup`` always equals the exact ``bisect_right - 1`` answer — via
+  the ε-window when the model is good, via the counted fallback when the
+  numeric key embedding is lossy — for linear, clustered, skewed and
+  adversarial (shared-prefix) key sets;
+* every recorded probe error respects the trained bound (probe window
+  never grows past ±ε);
+* SSTables gate the model on size (``MIN_BLOCKS``) and expose identical
+  ``block_for_key`` / ``blocks_for_range`` answers with it on or off.
+"""
+
+from bisect import bisect_right
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import Cell, KeyRange, SSTableBuilder
+from repro.lsm.learned import (LearnedBlockIndex, MIN_BLOCKS,
+                               build_plr_segments, key_to_number)
+
+
+def exact(first_keys, key):
+    return max(bisect_right(first_keys, key) - 1, 0)
+
+
+def assert_matches_exact(first_keys, probes, epsilon=8):
+    index = LearnedBlockIndex(first_keys, epsilon=epsilon)
+    for key in probes:
+        assert index.lookup(key) == exact(first_keys, key), key
+    return index
+
+
+def test_linear_keys_one_segment_no_fallbacks():
+    # Fixed-width big-endian integers: exactly linear in the embedding.
+    keys = [(i * 10).to_bytes(8, "big") for i in range(200)]
+    probes = keys + [(i * 10 + 5).to_bytes(8, "big") for i in range(200)]
+    index = assert_matches_exact(keys, probes)
+    assert index.segment_count == 1
+    assert index.fallbacks == 0
+    assert index.max_error <= index.epsilon
+
+
+def test_decimal_string_keys_need_few_segments_stay_exact():
+    """ASCII decimal keys are only piecewise-linear in the embedding
+    (slope changes at every decade rollover) — more segments, same
+    answers, no fallbacks."""
+    keys = [b"k%08d" % (i * 10) for i in range(200)]
+    probes = keys + [b"k%08d" % (i * 10 + 5) for i in range(200)]
+    index = assert_matches_exact(keys, probes)
+    assert 1 < index.segment_count < len(keys)
+    assert index.fallbacks == 0
+
+
+def test_clustered_keys_multiple_segments():
+    keys = ([b"a%06d" % i for i in range(50)]
+            + [b"m%06d" % (i * 997) for i in range(50)]
+            + [b"z%02d" % i for i in range(50)])
+    probes = keys + [k + b"\x01" for k in keys] + [b"a", b"z99", b"m"]
+    index = assert_matches_exact(keys, probes)
+    assert index.segment_count >= 2
+    assert index.max_error <= index.epsilon
+
+
+def test_shared_long_prefix_falls_back_not_wrong():
+    """Keys identical in their first 16 bytes collapse onto one numeric
+    x — the model cannot separate them, the fallback must."""
+    prefix = b"p" * 20
+    keys = [prefix + b"%04d" % i for i in range(64)]
+    probes = keys + [prefix + b"%04d" % i + b"!" for i in range(64)]
+    index = assert_matches_exact(keys, probes)
+    assert index.fallbacks > 0
+
+
+def test_duplicate_embeddings_terminate_segments():
+    xs = [1, 2, 2, 2, 3, 4]
+    segments = build_plr_segments(xs, epsilon=4)
+    assert sum(seg[2] - seg[1] + 1 for seg in segments) == len(xs)
+    covered = set()
+    for _x0, y0, y_last, _slope in segments:
+        for y in range(y0, y_last + 1):
+            assert y not in covered
+            covered.add(y)
+    assert covered == set(range(len(xs)))
+
+
+def test_key_to_number_order_preserving_on_prefix():
+    keys = [b"", b"a", b"a\x00", b"ab", b"b", b"b" * 16, b"b" * 17]
+    nums = [key_to_number(k) for k in keys]
+    for a, b, na, nb in zip(keys, keys[1:], nums, nums[1:]):
+        assert na <= nb, (a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=24), min_size=1, max_size=80,
+                unique=True),
+       st.lists(st.binary(min_size=0, max_size=24), min_size=1, max_size=20),
+       st.integers(1, 16))
+def test_property_lookup_always_exact(first_keys, probes, epsilon):
+    first_keys = sorted(first_keys)
+    index = LearnedBlockIndex(first_keys, epsilon=epsilon)
+    for probe in probes + first_keys:
+        assert index.lookup(probe) == exact(first_keys, probe)
+    assert index.max_error <= epsilon
+
+
+# -- SSTable integration -----------------------------------------------------
+
+
+def build_table(n, learned_epsilon, block_bytes=96):
+    builder = SSTableBuilder(block_bytes=block_bytes,
+                             learned_epsilon=learned_epsilon)
+    builder.add_all([Cell(b"k%06d" % (i * 3), 1, b"x" * 32)
+                     for i in range(n)])
+    return builder.finish()
+
+
+def test_small_tables_skip_the_model():
+    table = build_table(4, learned_epsilon=8, block_bytes=4096)
+    assert table.num_blocks < MIN_BLOCKS
+    assert table.learned_index is None
+    assert table.block_for_key(b"k000003") is not None
+
+
+def test_learned_and_exact_tables_plan_identically():
+    learned = build_table(120, learned_epsilon=4)
+    plain = build_table(120, learned_epsilon=None)
+    assert learned.num_blocks == plain.num_blocks >= MIN_BLOCKS
+    assert learned.learned_index is not None
+    assert plain.learned_index is None
+    probes = ([b"k%06d" % i for i in range(0, 360, 7)]
+              + [b"", b"k", b"zzz", learned.min_key, learned.max_key])
+    for probe in probes:
+        assert (learned.block_for_key(probe)
+                == plain.block_for_key(probe)), probe
+    ranges = [KeyRange(b"", None), KeyRange(b"k000100", b"k000200"),
+              KeyRange(b"k000100", b"k000100"), KeyRange(b"zzz", None),
+              KeyRange(learned.min_key, learned.max_key)]
+    for key_range in ranges:
+        assert (list(learned.blocks_for_range(key_range))
+                == list(plain.blocks_for_range(key_range))), key_range
+
+    model = learned.learned_index
+    assert model.probes > 0
+    assert model.max_error <= model.epsilon

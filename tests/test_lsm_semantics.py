@@ -114,6 +114,24 @@ def test_merge_key_streams_empty_inputs():
     assert list(merge_key_streams([iter([]), iter([])])) == []
 
 
+def test_merge_key_streams_three_way_collision_sorted_newest_first():
+    """Three streams colliding on one key: the merged version list comes
+    out newest-first in ONE pass, with the lower-indexed (newer) stream's
+    cells kept first at equal timestamps — the order resolve_versions'
+    first-seen-per-ts dedup relies on."""
+    s0 = iter([(b"k", [Cell(b"k", 9, b"s0@9"), Cell(b"k", 3, b"s0@3")])])
+    s1 = iter([(b"k", [Cell(b"k", 7, b"s1@7"), Cell(b"k", 3, b"s1@3")])])
+    s2 = iter([(b"k", [Cell(b"k", 5, b"s2@5")])])
+    merged = list(merge_key_streams([s0, s1, s2]))
+    assert len(merged) == 1
+    key, cells = merged[0]
+    assert key == b"k"
+    assert [c.ts for c in cells] == [9, 7, 5, 3, 3]
+    # Stable: stream 0's ts=3 cell precedes stream 1's equal-ts cell.
+    assert [c.value for c in cells] == [b"s0@9", b"s1@7", b"s2@5",
+                                        b"s0@3", b"s1@3"]
+
+
 @settings(max_examples=50)
 @given(st.lists(
     st.tuples(st.integers(0, 5), st.booleans()), min_size=0, max_size=30))

@@ -99,6 +99,46 @@ def test_blocks_for_range_covers_all_matching_blocks():
     assert list(full) == list(range(table.num_blocks))
 
 
+def test_blocks_for_range_empty_range_is_empty():
+    table = build([Cell(key(i), 1, b"x" * 40) for i in range(50)],
+                  block_bytes=100)
+    assert list(table.blocks_for_range(KeyRange(key(3), key(3)))) == []
+    assert list(table.blocks_for_range(KeyRange(key(7), key(3)))) == []
+
+
+def test_blocks_for_range_single_block_table():
+    table = build([Cell(key(i), 1, b"v") for i in range(3)],
+                  block_bytes=4096)
+    assert table.num_blocks == 1
+    assert list(table.blocks_for_range(KeyRange(b"", None))) == [0]
+    assert list(table.blocks_for_range(KeyRange(key(1), key(2)))) == [0]
+    # Ends at-or-below the table's first key, or starts above its last.
+    assert list(table.blocks_for_range(KeyRange(b"", key(0)))) == []
+    assert list(table.blocks_for_range(KeyRange(b"zzz", None))) == []
+
+
+def test_blocks_for_range_end_on_block_boundary_excluded():
+    """A range whose exclusive end IS a block's first key must not open
+    that block — it holds only keys >= end."""
+    cells = [Cell(key(i), 1, b"x" * 40) for i in range(50)]
+    table = build(cells, block_bytes=100)
+    assert table.num_blocks > 2
+    boundary = table._block_first_keys[1]
+    blocks = list(table.blocks_for_range(KeyRange(b"", boundary)))
+    assert blocks == [0]
+
+
+def test_blocks_for_range_straddles_last_block():
+    cells = [Cell(key(i), 1, b"x" * 40) for i in range(50)]
+    table = build(cells, block_bytes=100)
+    last_first = table._block_first_keys[-1]
+    blocks = list(table.blocks_for_range(KeyRange(last_first, b"zzz")))
+    assert blocks == [table.num_blocks - 1]
+    # Ranges inside the table span always open at least one block.
+    for i in range(49):
+        assert len(table.blocks_for_range(KeyRange(key(i), key(i + 1)))) >= 1
+
+
 def test_metadata():
     table = build([Cell(key(0), 2, b"v"), Cell(key(1), 7, b"v")])
     assert table.min_key == key(0)
