@@ -103,7 +103,7 @@ def _run_drain_ablation() -> str:
 
 def _run_perf() -> str:
     """Wall-clock perf baseline (see :mod:`repro.bench.perf`); honours
-    REPRO_BENCH_QUICK / REPRO_BENCH_JSON and writes BENCH_pr2.json."""
+    REPRO_BENCH_QUICK / REPRO_BENCH_JSON and writes BENCH_pr8.json."""
     from repro.bench.perf import render_perf_report, run_perf_baseline
     return render_perf_report(run_perf_baseline())
 

@@ -13,7 +13,8 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from repro.core.index import IndexDescriptor
-from repro.core.schemes import IndexScheme
+from repro.core.schemes import (IndexScheme, SCHEME_LABELS,
+                                scheme_from_label)
 from repro.cluster.cluster import MiniCluster
 from repro.cluster.server import ServerConfig
 from repro.sim.latency import LatencyModel
@@ -22,21 +23,12 @@ from repro.ycsb.driver import (ClosedLoopDriver, DriverResult, OpenLoopDriver,
 from repro.ycsb.schema import ItemSchema, INDEXED_PRICE_COLUMN, TITLE_COLUMN
 from repro.ycsb.workload import CoreWorkload, OpType
 
-__all__ = ["ExperimentConfig", "Experiment", "SCHEME_LABELS", "scheme_from_label"]
+__all__ = ["ExperimentConfig", "Experiment", "SCHEME_LABELS",
+           "scheme_from_label"]
 
-# The paper's shorthand: "we use async for async-simple, full for
-# sync-full, insert for sync-insert, and null for no index."
-SCHEME_LABELS: Dict[str, Optional[IndexScheme]] = {
-    "null": None,
-    "insert": IndexScheme.SYNC_INSERT,
-    "full": IndexScheme.SYNC_FULL,
-    "async": IndexScheme.ASYNC_SIMPLE,
-    "session": IndexScheme.ASYNC_SESSION,
-}
-
-
-def scheme_from_label(label: str) -> Optional[IndexScheme]:
-    return SCHEME_LABELS[label]
+# SCHEME_LABELS / scheme_from_label now live in repro.core.schemes (one
+# registry for every CLI, driver and bench); re-exported here for the
+# callers that historically imported them from the harness.
 
 
 @dataclasses.dataclass
@@ -67,6 +59,11 @@ class ExperimentConfig:
     # remix+learned vs heap+bisect (DESIGN.md §13).
     scan_engine: str = "remix"
     learned_index: bool = True
+    # Compaction policy for the index tables ("size_tiered" | "leveled");
+    # None inherits the base table's.  The PR-8 bench runs validation
+    # with "leveled" so every compaction round is major and the
+    # dead-entry purge gets its chances (DESIGN.md §14).
+    index_compaction_policy: Optional[str] = None
 
     def schema(self) -> ItemSchema:
         return ItemSchema(record_count=self.record_count,
@@ -111,13 +108,15 @@ class Experiment:
             self.cluster.create_index(
                 IndexDescriptor("item_title", self.TABLE, (TITLE_COLUMN,),
                                 scheme=scheme),
-                split_keys=self.schema.title_split_keys(config.index_regions))
+                split_keys=self.schema.title_split_keys(config.index_regions),
+                compaction_policy=config.index_compaction_policy)
             if config.with_price_index:
                 self.cluster.create_index(
                     IndexDescriptor("item_price", self.TABLE,
                                     (INDEXED_PRICE_COLUMN,), scheme=scheme),
                     split_keys=self.schema.price_split_keys(
-                        config.index_regions))
+                        config.index_regions),
+                    compaction_policy=config.index_compaction_policy)
         self.cluster.start()
 
     # -- driving ----------------------------------------------------------------

@@ -46,13 +46,19 @@ superseded versions) per scheme, sweeping selectivity 0.01%..10%.
 Reports per-point scan_table sim mean/p95, the remix cursor/fallback
 counters (steady state must be fallback-free), learned-index probe
 error and fallback totals, and an end-to-end INDEX_RANGE run at 1%.
-Headline: ``speedup_p95_at_1pct`` for sync-full, the CI floor.
+Headline: ``speedup_p95_at_1pct`` for sync-full, the CI floor,
+
+and a ``validation`` section (PR 8): the validation scheme's three
+floors — blind-ship update cost below sync-insert, read p95 within 2x
+sync-full on the standard mixed ratio (with the validated/filtered hit
+counters alongside), and a leveled-policy churn run in which major
+compactions must purge > 0 dead index entries (DESIGN.md §14).
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr7.json`` in the working directory).
+  ``BENCH_pr8.json`` in the working directory).
 """
 
 from __future__ import annotations
@@ -70,11 +76,11 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr7.json"
+DEFAULT_OUTPUT = "BENCH_pr8.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
-_SCHEMES = ("insert", "full", "async")
+_SCHEMES = ("insert", "full", "async", "validation")
 
 
 def _is_quick() -> bool:
@@ -136,7 +142,8 @@ def _read_latency_section(threads: int, duration_ms: float,
             record_count=record_count,
             title_cardinality=title_cardinality,
             scheme_label=label))
-        _mutate_fraction(exp, 0.2 if label in ("insert", "async") else 0.0)
+        _mutate_fraction(exp, 0.2 if label in ("insert", "async",
+                                               "validation") else 0.0)
         exp.warm_index_cache(queries=100)
         result = exp.run_closed({OpType.INDEX_READ: 1.0},
                                 num_threads=threads,
@@ -695,6 +702,153 @@ def _scan_section(record_count: int, duration_ms: float,
     return section
 
 
+def _validation_section(threads: int, duration_ms: float,
+                        record_count: int,
+                        churn_rounds: int = 5) -> Dict[str, object]:
+    """The PR-8 validation-scheme numbers (DESIGN.md §14).
+
+    ``write_cost`` — update-only closed loop per scheme.  Validation
+    ships its index entry blind (no read-back, no synchronous delete of
+    the superseded entry), so its update mean must land BELOW
+    sync-insert: the first CI floor.
+
+    ``mixed_read`` — the standard 50/50 mixed ratio, validation vs
+    sync-full.  A validation read pays one extra scatter round to check
+    candidate hits against base rows, bounded at 2x sync-full's p95:
+    the second floor.  Both sides run with the production block-cache
+    size (2 MB, not the bench default 256 KB that keeps disks in play
+    for the paper figures) and a one-pass warm sweep, because the 2x
+    claim is about the steady-state regime where the validated working
+    set is cache-resident — one extra RTT plus K cache-priced reads,
+    not K disk seeks.  The validated/filtered hit counters and the
+    cleaner's purge total ride along.
+
+    ``leveled_purge`` — churn a validation index under the leveled
+    policy.  Every title rewrite leaves the prior entry dead (blind
+    ship never deletes), each round is flushed to its own SSTable, and
+    leveled makes every compaction major — so the ts-δ dead-entry
+    filter must purge > 0 entries: the third floor."""
+    from repro.sim.random import RandomStream
+
+    section: Dict[str, object] = {}
+
+    write_cost: Dict[str, object] = {}
+    for label in ("insert", "full", "validation"):
+        exp = Experiment(ExperimentConfig(
+            record_count=record_count,
+            title_cardinality=record_count // 5,
+            scheme_label=label))
+        result = exp.run_closed({OpType.UPDATE: 1.0}, num_threads=threads,
+                                duration_ms=duration_ms,
+                                warmup_ms=duration_ms / 5)
+        stats = result.stats(OpType.UPDATE)
+        write_cost[label] = {
+            "sim_mean_ms": round(stats.mean_ms, 3),
+            "sim_p95_ms": round(stats.p95_ms, 3),
+            "sim_throughput_tps": round(stats.throughput_tps, 1),
+        }
+    write_cost["validation_below_insert"] = bool(
+        write_cost["validation"]["sim_mean_ms"]
+        < write_cost["insert"]["sim_mean_ms"])
+    section["write_cost"] = write_cost
+
+    mixed_read: Dict[str, object] = {}
+    for label in ("full", "validation"):
+        exp = Experiment(ExperimentConfig(
+            record_count=record_count,
+            title_cardinality=record_count // 5,
+            scheme_label=label,
+            block_cache_bytes=2 * 1024 * 1024))
+        warm_client = exp.cluster.new_client("warm")
+
+        def warm_sweep():
+            for i in range(exp.config.record_count):
+                yield from warm_client.get(exp.TABLE, exp.schema.rowkey(i))
+
+        exp.cluster.run(warm_sweep(), name="warm")
+        result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
+                                num_threads=threads, duration_ms=duration_ms,
+                                warmup_ms=duration_ms / 5)
+        stats = result.stats(OpType.INDEX_READ)
+        exp.cluster.quiesce()
+        metrics = exp.cluster.metrics
+        mixed_read[label] = {
+            "sim_mean_ms": round(stats.mean_ms, 3),
+            "sim_p95_ms": round(stats.p95_ms, 3),
+            "sim_throughput_tps": round(stats.throughput_tps, 1),
+            "hits_validated": int(
+                metrics.total("validation_hits_validated_total")),
+            "hits_filtered": int(
+                metrics.total("validation_hits_filtered_total")),
+            "cleaner_purged": int(
+                metrics.total("validation_cleaner_purged_total")),
+            "stale_served": exp.cluster.staleness.stale_served,
+        }
+    full_p95 = mixed_read["full"]["sim_p95_ms"]
+    mixed_read["read_p95_ratio_vs_full"] = round(
+        mixed_read["validation"]["sim_p95_ms"] / full_p95, 3) \
+        if full_p95 else 0.0
+    section["mixed_read"] = mixed_read
+
+    # Leveled churn: rewrite every title churn_rounds times, one SSTable
+    # per round, so the index regions accumulate mostly-dead files.
+    rows = record_count // 2
+    exp = Experiment(ExperimentConfig(
+        record_count=rows,
+        title_cardinality=max(1, rows // 5),
+        scheme_label="validation",
+        index_compaction_policy="leveled"))
+    cluster = exp.cluster
+    client = cluster.new_client("churner")
+    rng = RandomStream(exp.config.seed + 13)
+    index = cluster.index_descriptor("item_title")
+
+    def flush_index_regions() -> None:
+        for server in cluster.alive_servers():
+            for region in server.regions.values():
+                if region.table.name != index.table_name:
+                    continue
+                handle = region.tree.prepare_flush()
+                if handle is not None:
+                    region.tree.complete_flush(handle)
+                    cluster.hdfs.set_store_files(index.table_name,
+                                                 region.name,
+                                                 region.tree._sstables)
+                    server.wal.roll_forward(region.name, handle.wal_seqno)
+
+    def one_round():
+        for i in range(rows):
+            yield from client.put(exp.TABLE, exp.schema.rowkey(i),
+                                  exp.schema.update_values(i, rng))
+
+    for _ in range(churn_rounds):
+        cluster.run(one_round(), name="churner")
+        cluster.quiesce()
+        flush_index_regions()
+
+    cluster.advance(10.0)     # everything settles past the ts-δ horizon
+
+    def compact_index_regions():
+        for server in cluster.alive_servers():
+            for region in list(server.regions.values()):
+                if region.table.name != index.table_name:
+                    continue
+                yield from server.compact_region(region)
+
+    cluster.run(compact_index_regions(), name="index-compactor")
+    # Background maintenance may have compacted (and purged) some rounds
+    # already; the floor is on the cluster-lifetime total.
+    purged = int(cluster.metrics.total("compaction_dead_entries_purged_total"))
+    section["leveled_purge"] = {
+        "policy": "leveled",
+        "churn_rounds": churn_rounds,
+        "rows": rows,
+        "dead_entries_purged": purged,
+        "stale_debt_remaining": cluster.staleness.stale_debt,
+    }
+    return section
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -710,7 +864,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     batch_rows = 320 if quick else 960
 
     report: Dict[str, object] = {
-        "bench": "pr7-scan-engine-perf-baseline",
+        "bench": "pr8-validation-scheme-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count, "batch_rows": batch_rows},
@@ -739,6 +893,9 @@ def run_perf_baseline(quick: Optional[bool] = None,
         800 if quick else record_count, duration_ms / 2,
         scans_per_point=8 if quick else 16,
         update_rounds=2 if quick else 3)
+    report["validation"] = _validation_section(
+        threads[0], duration_ms, record_count,
+        churn_rounds=5 if quick else 6)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -834,4 +991,20 @@ def render_perf_report(report: Dict[str, object]) -> str:
             lines.append(
                 f"    {label:>7} speedup p95 @1% "
                 f"{entry['speedup_p95_at_1pct']:.2f}x")
+    validation = report.get("validation")
+    if validation:
+        wc = validation["write_cost"]
+        mr = validation["mixed_read"]
+        purge = validation["leveled_purge"]
+        lines.append(
+            f"  validation: update mean "
+            f"{wc['validation']['sim_mean_ms']:.2f} ms vs insert "
+            f"{wc['insert']['sim_mean_ms']:.2f} ms "
+            f"(below={wc['validation_below_insert']}), read p95 "
+            f"{mr['validation']['sim_p95_ms']:.2f} ms vs full "
+            f"{mr['full']['sim_p95_ms']:.2f} ms "
+            f"(ratio {mr['read_p95_ratio_vs_full']:.2f}x), hits "
+            f"validated {mr['validation']['hits_validated']} / filtered "
+            f"{mr['validation']['hits_filtered']}, leveled purge "
+            f"{purge['dead_entries_purged']} dead entries")
     return "\n".join(lines)

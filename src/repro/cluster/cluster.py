@@ -86,6 +86,11 @@ class MiniCluster:
         self.staleness = StalenessTracker(
             sample_rate=staleness_sample_rate,
             seed=self.seeds.seed_for("staleness") % (2 ** 31))
+        # Deferred GC for the validation scheme: reads hand discovered
+        # dead entries here; the worker (spawned in start()) deletes
+        # them in the background (DESIGN.md §14).
+        from repro.validation import ValidationCleaner  # deferred: cycle
+        self.validation_cleaner = ValidationCleaner(self)
 
         self.server_config = server_config or ServerConfig()
         self.servers: Dict[str, RegionServer] = {}
@@ -123,6 +128,8 @@ class MiniCluster:
                 server.start()
             self.coordinator.start()
             self.placement.start()
+            self.sim.spawn(self.validation_cleaner.worker(),
+                           name="validation-cleaner")
             self._started = True
         return self
 
@@ -186,21 +193,30 @@ class MiniCluster:
                      flush_threshold_bytes: int = 256 * 1024,
                      block_bytes: int = 4096,
                      scan_engine: Optional[str] = None,
-                     learned_index: Optional[bool] = None) -> TableDescriptor:
+                     learned_index: Optional[bool] = None,
+                     compaction_policy: str = "size_tiered",
+                     ) -> TableDescriptor:
+        from repro.lsm.policy import POLICY_LABELS
+        if compaction_policy not in POLICY_LABELS:
+            raise ValueError(
+                f"unknown compaction policy {compaction_policy!r}")
         descriptor = TableDescriptor(
             name, TableKind.BASE, max_versions=max_versions,
             flush_threshold_bytes=flush_threshold_bytes,
             block_bytes=block_bytes,
             scan_engine=scan_engine or self.scan_engine,
             learned_index=(self.learned_index if learned_index is None
-                           else learned_index))
+                           else learned_index),
+            compaction_policy=compaction_policy)
         self.master.create_table(descriptor, split_keys=split_keys)
         return descriptor
 
     def create_index(self, index: IndexDescriptor,
                      split_keys: Optional[List[bytes]] = None,
                      backfill="offline",
-                     prefix_compression: bool = False) -> TableDescriptor:
+                     prefix_compression: bool = False,
+                     compaction_policy: Optional[str] = None,
+                     ) -> TableDescriptor:
         """CREATE INDEX: create the key-only index table, register the
         descriptor in the catalog (and the base table descriptor, as
         BigInsights stores a copy there), and build entries for
@@ -217,7 +233,8 @@ class MiniCluster:
         """
         if backfill == "online":
             self.create_index_online(index, split_keys=split_keys,
-                                     prefix_compression=prefix_compression)
+                                     prefix_compression=prefix_compression,
+                                     compaction_policy=compaction_policy)
             return self.descriptor(index.table_name if not index.is_local
                                    else index.base_table)
         if backfill not in (True, False, "offline"):
@@ -240,7 +257,8 @@ class MiniCluster:
             block_bytes=base.block_bytes,
             prefix_compression=prefix_compression,
             scan_engine=base.scan_engine,
-            learned_index=base.learned_index)
+            learned_index=base.learned_index,
+            compaction_policy=compaction_policy or base.compaction_policy)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.ACTIVE)
         if backfill:
@@ -249,7 +267,8 @@ class MiniCluster:
 
     def create_index_online(self, index: IndexDescriptor,
                             split_keys: Optional[List[bytes]] = None,
-                            prefix_compression: bool = False):
+                            prefix_compression: bool = False,
+                            compaction_policy: Optional[str] = None):
         """Online CREATE INDEX (§7's creation utility, run inside simulated
         time): attach the descriptor in BUILDING state — dual-writes by the
         existing observers start immediately — then submit a DDL job that
@@ -274,7 +293,8 @@ class MiniCluster:
             block_bytes=base.block_bytes,
             prefix_compression=prefix_compression,
             scan_engine=base.scan_engine,
-            learned_index=base.learned_index)
+            learned_index=base.learned_index,
+            compaction_policy=compaction_policy or base.compaction_policy)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.BUILDING)
         return self.ddl.submit_create(stamped)
@@ -285,12 +305,15 @@ class MiniCluster:
         """Switch an index's maintenance scheme at runtime (the adaptive
         controller's actuator; see :mod:`repro.core.adaptive`).
 
-        Moving away from sync-insert (whose reads repair lazily) to a
-        scheme whose reads trust the index requires removing the stale
-        entries first — ``scrub`` does that: synchronously and cost-free
-        by default, or (``online=True``) as a chunked sim-time scrub job
-        during which reads keep the Algorithm 2 double-check
-        (IndexState.TRANSITION) — returns the DdlJob in that case.
+        Moving away from a lazy scheme (sync-insert's read repair,
+        validation's read filter) to a scheme whose reads trust the
+        index requires removing the stale entries first — ``scrub`` does
+        that: synchronously and cost-free by default, or
+        (``online=True``) as a chunked sim-time scrub job during which
+        reads keep the Algorithm 2 double-check (IndexState.TRANSITION)
+        — returns the DdlJob in that case.  Switching between two lazy
+        schemes (sync-insert ↔ validation) never scrubs: both read
+        paths tolerate the same stale entries.
         Pending AUQ work from an async phase needs no special handling:
         deliveries are idempotent and timestamped, so they stay correct
         under the new scheme."""
@@ -298,9 +321,8 @@ class MiniCluster:
         index = self.index_descriptor(index_name)
         if index.scheme is new_scheme:
             return None
-        leaving_lazy = index.scheme is IndexScheme.SYNC_INSERT
-        needs_scrub = (scrub and leaving_lazy
-                       and new_scheme is not IndexScheme.SYNC_INSERT)
+        leaving_lazy = index.scheme.is_lazy
+        needs_scrub = scrub and leaving_lazy and not new_scheme.is_lazy
         if online and not index.is_local:
             return self.ddl.submit_alter(index, new_scheme,
                                          scrub=needs_scrub)
@@ -448,10 +470,13 @@ class MiniCluster:
         "eventually" in eventual consistency, made explicit for tests."""
         deadline = self.sim.now() + max_wait_ms
         while self.sim.now() < deadline:
-            if self.auq_backlog() == 0 and not any(
-                    s.put_inflight.count for s in self.alive_servers()):
+            if (self.auq_backlog() == 0
+                    and self.validation_cleaner.backlog == 0
+                    and not any(s.put_inflight.count
+                                for s in self.alive_servers())):
                 return
             self.advance(step_ms)
         raise SimulationError(
             f"AUQs not drained after {max_wait_ms} ms "
-            f"(backlog={self.auq_backlog()})")
+            f"(backlog={self.auq_backlog()}, "
+            f"cleaner={self.validation_cleaner.backlog})")

@@ -18,7 +18,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.lsm.cache import BlockCache
-from repro.lsm.compaction import CompactionPolicy
+from repro.lsm.policy import compaction_policy_from_label
 from repro.lsm.tree import LSMConfig, LSMTree, ReadStats
 from repro.lsm.types import Cell, KeyRange, cell_size
 from repro.cluster.table import TableDescriptor
@@ -91,7 +91,7 @@ class Region:
             prefix_compression=table.prefix_compression,
             remix_enabled=table.scan_engine == "remix",
             learned_index=table.learned_index,
-            compaction=CompactionPolicy())
+            compaction=compaction_policy_from_label(table.compaction_policy))
         self.tree = LSMTree(name=name, config=config, cache=cache, seed=seed)
         self.locks = RowLocks()
         self.flushing = False

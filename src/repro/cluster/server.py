@@ -24,15 +24,18 @@ import dataclasses
 from typing import (Any, Dict, Generator, List, Optional, Set, Tuple,
                     TYPE_CHECKING)
 
-from repro.errors import NoSuchRegionError, RpcError, ServerDownError
+from repro.errors import (EncodingError, NoSuchRegionError, RpcError,
+                          ServerDownError)
 from repro.core.auq import IndexTask, aps_worker, maintain_indexes
 from repro.core.coprocessor import IndexOpContext
+from repro.core.encoding import decode_index_key
+from repro.core.index import IndexState, extract_index_values
 from repro.core.local import (is_reserved_key, local_scan_range,
                               plan_local_index_cells)
 from repro.core.observers import build_observers
 from repro.lsm.cache import BlockCache
 from repro.lsm.tree import ReadStats
-from repro.lsm.types import Cell, KeyRange
+from repro.lsm.types import DELTA_MS, Cell, KeyRange
 from repro.lsm.wal import WriteAheadLog
 from repro.cluster.region import Region, compose_cell_key
 from repro.cluster.table import TableDescriptor
@@ -156,6 +159,10 @@ class RegionServer:
                                                   server=name)
         self.obs_quorum_repairs = metrics.counter("quorum_repairs_total",
                                                   server=name)
+        # Index entries a major compaction proved dead against the base
+        # table (lazy schemes' GC; DESIGN.md §14).
+        self.obs_dead_purged = metrics.counter(
+            "compaction_dead_entries_purged_total", server=name)
 
         # Monotonic per-server timestamps: System.currentTimeMillis() is
         # non-decreasing; we additionally break ties so that two writes to
@@ -1173,8 +1180,55 @@ class RegionServer:
                 self.auq_gate.open()
             region.flushing = False
 
+    def _dead_entry_filter(self, region: Region):
+        """Predicate for the compaction-time index GC (DESIGN.md §14), or
+        None when this region is not an index table under a lazy scheme.
+
+        An entry is dead when it is *settled* (older than now − δ, so no
+        in-flight blind ship or AUQ delivery for its own base put can
+        still be racing) and the base row's current indexed values no
+        longer match it.  The ts−δ discipline makes this final: a base
+        row updated back to an old value re-inserts a NEW entry version,
+        it never revives a purged one.  The base probe is the cost-free
+        oracle read (``Region.read_row`` with no stats) — the simulated
+        I/O charge stays the compaction's own ``compact_cost``.
+        """
+        index = self.cluster.index_by_table.get(region.table.name)
+        if (index is None or not index.scheme.is_lazy
+                or index.state is not IndexState.ACTIVE):
+            return None
+        cluster = self.cluster
+        settled_before = self.sim.now() - DELTA_MS
+        num_columns = len(index.columns)
+        columns = list(index.columns)
+
+        def dead(cell: Cell) -> bool:
+            if cell.ts > settled_before:
+                return False     # too fresh: its own delivery may be racing
+            try:
+                values, rowkey = decode_index_key(cell.key, num_columns)
+            except EncodingError:
+                return False
+            try:
+                server, region_name = cluster.locate(index.base_table, rowkey)
+                base_region = server.regions[region_name]
+            except Exception:
+                return False     # recovery/move window: keep, retry later
+            row_data = base_region.read_row(rowkey, columns=columns)
+            current = {col: value for col, (value, _ts) in row_data.items()}
+            if extract_index_values(index, current) == tuple(values):
+                return False
+            newest_base_ts = max(
+                (ts for _col, (_value, ts) in row_data.items()), default=None)
+            if newest_base_ts is not None and cell.ts > newest_base_ts:
+                return False     # entry outruns the visible base row: keep
+            return True
+
+        return dead
+
     def compact_region(self, region: Region) -> Generator[Any, Any, None]:
-        result = region.tree.compact()
+        result = region.tree.compact(
+            dead_entry_filter=self._dead_entry_filter(region))
         if result is None:
             return
         yield from use(self.disk,
@@ -1182,6 +1236,9 @@ class RegionServer:
         self.cluster.hdfs.set_store_files(
             region.table.name, region.name, region.tree._sstables)
         self.compactions_completed += 1
+        if result.dropped_dead_entries:
+            self.obs_dead_purged.inc(result.dropped_dead_entries)
+            self.cluster.staleness.settle_debt(result.dropped_dead_entries)
 
     def _heartbeat_loop(self) -> Generator[Any, Any, None]:
         while self.alive:

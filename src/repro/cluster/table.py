@@ -41,6 +41,10 @@ class TableDescriptor:
     scan_engine: str = "remix"
     # Learned (ε-bounded PLR) per-SSTable block index vs plain bisect.
     learned_index: bool = True
+    # Compaction policy label resolved through repro.lsm.policy
+    # ("size_tiered" | "leveled"); index tables under lazy schemes pair
+    # naturally with "leveled" (every round major → dead-entry purge).
+    compaction_policy: str = "size_tiered"
     # Index descriptors attached to this (base) table — the catalog keeps
     # a copy in the table descriptor, as BigInsights does (§7).
     indexes: Dict[str, "IndexDescriptor"] = dataclasses.field(default_factory=dict)

@@ -108,9 +108,16 @@ class AdaptiveController:
             return (IndexScheme.ASYNC_SESSION,)
         if self.required_consistency in (ConsistencyLevel.CAUSAL,
                                          ConsistencyLevel.CAUSAL_READ_REPAIR):
+            # The index entry must exist by put-ack; validation's blind
+            # ship cannot promise that, so it is out of this class.
             return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT)
+        if self.required_consistency is ConsistencyLevel.VALIDATED:
+            # "Reads never see stale hits" without the put-ack guarantee:
+            # validation joins the sync pair (DESIGN.md §14).
+            return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT,
+                    IndexScheme.VALIDATION)
         return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT,
-                IndexScheme.ASYNC_SIMPLE)
+                IndexScheme.ASYNC_SIMPLE, IndexScheme.VALIDATION)
 
     def recommend(self) -> IndexScheme:
         candidates = self._candidates()
@@ -119,9 +126,12 @@ class AdaptiveController:
         fraction = self.update_fraction
         if fraction >= self.policy.write_heavy_threshold:
             # Update latency is what matters: the cheapest allowed update
-            # path (§3.4 principle (3)/(4)).
+            # path (§3.4 principle (3)/(4); validation beats sync-insert
+            # but loses to a pure async enqueue).
             if IndexScheme.ASYNC_SIMPLE in candidates:
                 return IndexScheme.ASYNC_SIMPLE
+            if IndexScheme.VALIDATION in candidates:
+                return IndexScheme.VALIDATION
             return IndexScheme.SYNC_INSERT
         if fraction <= self.policy.read_heavy_threshold:
             # Read latency is what matters (§3.4 principle (2)).

@@ -4,9 +4,11 @@ maintenance and cleanse").
 * :func:`scrub_index` — the *cleanse*: sweep the index table and delete
   every stale entry (the double-check of Algorithm 2 applied offline to
   the whole index instead of lazily per query).  Running it after a
-  sync-insert phase — or before strengthening an index's scheme — leaves
-  the index exactly consistent.
+  lazy-scheme phase (sync-insert or validation) — or before
+  strengthening an index's scheme — leaves the index exactly consistent.
 * :func:`rebuild_index` — drop all entries and rebuild from base data.
+* :func:`purge_discovered_entries` — synchronously drain the validation
+  cleaner's backlog (the deferred GC of DESIGN.md §14, foregrounded).
 
 Both run as client-driven coroutines, paying normal read/write costs, so
 they can be benchmarked like any other workload.
@@ -25,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.client import Client
     from repro.cluster.cluster import MiniCluster
 
-__all__ = ["ScrubReport", "scrub_index", "rebuild_index"]
+__all__ = ["ScrubReport", "scrub_index", "rebuild_index",
+           "purge_discovered_entries"]
 
 
 @dataclasses.dataclass
@@ -100,6 +103,20 @@ def _repair_missing(cluster: "MiniCluster", client: "Client",
                 s.handle_index_put(index.table_name, k, t))
             inserted += 1
     return inserted
+
+
+def purge_discovered_entries(cluster: "MiniCluster", client: "Client",
+                             ) -> Generator[Any, Any, int]:
+    """Drain the validation cleaner's whole backlog right now, paying
+    normal delete costs — the foreground spelling of the background GC
+    (useful before a benchmark snapshot or a verification pass)."""
+    total = 0
+    while cluster.validation_cleaner.backlog:
+        purged = yield from cluster.validation_cleaner.drain_batch(client)
+        if purged == 0:
+            break   # only transiently-unroutable entries remain
+        total += purged
+    return total
 
 
 def rebuild_index(cluster: "MiniCluster", client: "Client", index_name: str,

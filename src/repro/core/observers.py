@@ -1,4 +1,4 @@
-"""The three Diff-Index coprocessors (§7, Figure 6).
+"""The Diff-Index coprocessors (§7, Figure 6) plus validation.
 
 * :class:`SyncFullObserver` — Algorithm 1 inside the put RPC: insert new
   entry, read the old value at ``t_new − δ``, delete the old entry.  The
@@ -7,6 +7,9 @@
   the insert is synchronous; stale entries are repaired at read time.
 * :class:`AsyncObserver` — Algorithm 3: enqueue an :class:`IndexTask`
   into the AUQ and acknowledge immediately; Algorithm 4 runs in the APS.
+* :class:`ValidationObserver` — Luo & Carey's validation strategy: ship
+  the index insert blindly in the background (cheapest foreground path of
+  any sync scheme); reads validate hits and a cleaner collects the rest.
 
 Schemes are chosen *per index* (§3.4), so each observer filters the
 table's indexes down to the ones it owns; a put on a table with a
@@ -34,8 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.server import RegionServer
     from repro.cluster.table import TableDescriptor
 
-__all__ = ["SyncFullObserver", "SyncInsertObserver", "AsyncObserver",
-           "build_observers"]
+__all__ = ["SyncFullObserver", "SyncInsertObserver", "ValidationObserver",
+           "AsyncObserver", "build_observers"]
 
 
 def _owned_indexes(table: TableDescriptor,
@@ -189,6 +192,96 @@ class SyncInsertObserver(RegionObserver):
             obs.end()
 
 
+class ValidationObserver(RegionObserver):
+    """Luo & Carey's validation strategy (DESIGN.md §14): ship the index
+    insert blindly — no base read, no synchronous wait — and let reads
+    filter whatever turns stale.  The put's foreground cost is just the
+    (pure) op planning; the actual index RPC rides a spawned background
+    process tracked by ``auq_inflight`` so quiesce/drain still cover it.
+    Deletes contribute nothing: the tombstoned base row makes existing
+    entries fail validation, and the cleaner/compaction collect them."""
+
+    SCHEMES = frozenset({IndexScheme.VALIDATION})
+
+    def _ship_blind(self, server: "RegionServer", tasks: List[IndexTask],
+                    ops: List[tuple]) -> None:
+        """Spawn the fire-and-forget delivery.  ``auq_inflight`` is
+        incremented while the put still holds its ``put_inflight`` slot,
+        so there is no window where a drain misses the ship."""
+        server.auq_inflight.increment()
+
+        def deliver() -> Generator[Any, Any, None]:
+            obs = server.tracer.start("blind_index", scheme="validation",
+                                      server=server.name, rows=len(tasks))
+            try:
+                yield from ship_index_ops(server.op_context, ops,
+                                          background=True, site="index_pi",
+                                          span=obs)
+                now = server.sim.now()
+                for task in tasks:
+                    server.staleness.record(task.ts, now)
+            except (NoSuchRegionError, RpcError):
+                # Transient routing failure (§6.2): the AUQ's retry loop
+                # re-resolves the owner and converges the index.
+                for task in tasks:
+                    server.degrade_to_auq(task)
+            finally:
+                obs.end()
+                server.auq_inflight.decrement()
+
+        server.sim.spawn(deliver(), name=f"{server.name}:blind-ship")
+
+    def post_put(self, server: "RegionServer", table: TableDescriptor,
+                 row: bytes, values: Dict[str, bytes], ts: int,
+                 span: Any = None) -> Generator[Any, Any, None]:
+        task = IndexTask(table.name, row, values, ts,
+                         enqueued_at=server.sim.now(),
+                         index_names=_owned_indexes(table, self.SCHEMES),
+                         span_id=_span_id(span),
+                         epoch=server.cluster.ddl_epoch)
+        if not task.index_names:
+            return
+        ops = plan_insert_ops(server.op_context, task)
+        if ops:
+            self._ship_blind(server, [task], ops)
+        return
+        yield  # pragma: no cover
+
+    def post_delete(self, server: "RegionServer", table: TableDescriptor,
+                    row: bytes, ts: int, span: Any = None,
+                    ) -> Generator[Any, Any, None]:
+        # Nothing to insert; stale entries fail validation at read time
+        # and are collected by the cleaner or the compaction purge.
+        return
+        yield  # pragma: no cover
+
+    def post_batch(self, server: "RegionServer", table: TableDescriptor,
+                   batch_rows: List[Tuple[str, bytes,
+                                          Optional[Dict[str, bytes]], int]],
+                   span: Any = None) -> Generator[Any, Any, None]:
+        """One blind ship for the whole batch's inserts, grouped per
+        target index region inside ``ship_index_ops``."""
+        names = _owned_indexes(table, self.SCHEMES)
+        if not names:
+            return
+        tasks = [IndexTask(table.name, row, values, ts,
+                           enqueued_at=server.sim.now(), index_names=names,
+                           span_id=_span_id(span),
+                           epoch=server.cluster.ddl_epoch)
+                 for _kind, row, values, ts in batch_rows
+                 if values is not None]
+        if not tasks:
+            return
+        ctx = server.op_context
+        ops = []
+        for task in tasks:
+            ops.extend(plan_insert_ops(ctx, task))
+        if ops:
+            self._ship_blind(server, tasks, ops)
+        return
+        yield  # pragma: no cover
+
+
 class AsyncObserver(RegionObserver):
     SCHEMES = frozenset({IndexScheme.ASYNC_SIMPLE, IndexScheme.ASYNC_SESSION})
 
@@ -255,6 +348,8 @@ def build_observers(table: TableDescriptor) -> Tuple[RegionObserver, ...]:
         observers.append(SyncFullObserver())
     if IndexScheme.SYNC_INSERT in schemes:
         observers.append(SyncInsertObserver())
+    if IndexScheme.VALIDATION in schemes:
+        observers.append(ValidationObserver())
     if schemes & AsyncObserver.SCHEMES:
         observers.append(AsyncObserver())
     return tuple(observers)

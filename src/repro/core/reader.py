@@ -5,6 +5,8 @@
 * sync-insert — Algorithm 2: after the index scan, each candidate rowkey
   is double-checked against the base table; stale entries are filtered
   out *and repaired* (deleted at their own timestamp);
+* validation — the same base-row check, but filter-only: stale entries
+  are handed to the background cleaner instead of being repaired inline;
 * async-session — the server results are merged with the session's
   private index view before returning (read-your-writes).
 
@@ -114,10 +116,12 @@ def get_by_index(client: "Client", index: IndexDescriptor,
     hits = _decode_hits(index, cells)
 
     # Algorithm 2 double-check: always for sync-insert, and temporarily
-    # for any scheme while an online ALTER away from sync-insert is still
-    # scrubbing stale entries (IndexState.TRANSITION).
+    # for any scheme while an online ALTER away from a lazy scheme is
+    # still scrubbing stale entries (IndexState.TRANSITION).
     if index.scheme is IndexScheme.SYNC_INSERT or index.needs_read_repair:
         hits = yield from _double_check(client, index, hits)
+    elif index.scheme is IndexScheme.VALIDATION:
+        hits = yield from _validate(client, index, hits)
 
     if (index.scheme is IndexScheme.ASYNC_SESSION and session is not None
             and not session.disabled):
@@ -225,6 +229,45 @@ def _double_check(client: "Client", index: IndexDescriptor,
              for hit in stale],
             max_fanout=client.max_fanout, name="repair",
             metrics=metrics, site="read_repair")
+    return confirmed
+
+
+def _validate(client: "Client", index: IndexDescriptor,
+              hits: List[IndexHit],
+              ) -> Generator[Any, Any, List[IndexHit]]:
+    """The validation scheme's read path (DESIGN.md §14): the same K
+    parallel base reads as Algorithm 2's double-check, but stale entries
+    are only *filtered*, never repaired inline — the read stays one
+    scatter round trip, and the discovered entries are handed to the
+    background cleaner for deferred deletion.
+    """
+    if not hits:
+        return []
+    cluster = client.cluster
+    metrics = cluster.metrics
+    validated = metrics.counter("validation_hits_validated_total",
+                                index=index.name)
+    filtered = metrics.counter("validation_hits_filtered_total",
+                               index=index.name)
+    row_map = yield from client.multi_get(
+        index.base_table, [hit.rowkey for hit in hits],
+        columns=list(index.columns))
+    now = cluster.sim.now()
+    confirmed: List[IndexHit] = []
+    for hit in hits:
+        row_data = row_map.get(hit.rowkey, {})
+        current = {col: value for col, (value, _ts) in row_data.items()}
+        if extract_index_values(index, current) == hit.values:
+            validated.inc()
+            confirmed.append(hit)
+        else:
+            # Stale but filtered: the client never sees it.  Lag is
+            # measured from the entry's own version to now (how long the
+            # dead entry has lingered).
+            filtered.inc()
+            cluster.staleness.note_stale(now - hit.ts, served=False)
+            cluster.validation_cleaner.note(index.table_name, hit.index_key,
+                                            hit.ts)
     return confirmed
 
 

@@ -25,6 +25,16 @@ class StalenessTracker:
         self._rng = RandomStream(seed)
         self.lags_ms: List[float] = []
         self.observed = 0
+        # Validation-scheme accounting (DESIGN.md §14): stale index hits
+        # discovered at read time split into "stale but filtered" (the
+        # validation check hid them — the client never saw stale data)
+        # and "stale and served" (a scheme without a read-time check let
+        # them through).  stale_debt counts discovered-but-not-yet-purged
+        # entries: up on filter discovery, down when the cleaner or a
+        # major compaction deletes the entry, floored at zero.
+        self.stale_filtered = 0
+        self.stale_served = 0
+        self.stale_debt = 0
 
     def record(self, base_ts_ms: int, completed_at_ms: float) -> None:
         """Called by the APS when every index op of one task is done."""
@@ -32,6 +42,21 @@ class StalenessTracker:
         if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
             return
         self.lags_ms.append(max(0.0, completed_at_ms - base_ts_ms))
+
+    def note_stale(self, lag_ms: float, served: bool) -> None:
+        """A stale index hit surfaced at read time: ``served`` says
+        whether it reached the client or was filtered out first."""
+        if served:
+            self.stale_served += 1
+        else:
+            self.stale_filtered += 1
+            self.stale_debt += 1
+        self.lags_ms.append(max(0.0, lag_ms))
+
+    def settle_debt(self, count: int = 1) -> None:
+        """A discovered stale entry was physically deleted (cleaner or
+        compaction dead-entry purge)."""
+        self.stale_debt = max(0, self.stale_debt - count)
 
     # -- reporting ---------------------------------------------------------
 
@@ -63,3 +88,6 @@ class StalenessTracker:
     def reset(self) -> None:
         self.lags_ms.clear()
         self.observed = 0
+        self.stale_filtered = 0
+        self.stale_served = 0
+        self.stale_debt = 0

@@ -18,7 +18,8 @@ value (see DESIGN.md §5.3).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Iterator, List, Optional, Sequence, \
+    Tuple
 
 from repro.lsm.iterators import merge_key_streams
 from repro.lsm.sstable import SSTable, SSTableBuilder
@@ -29,11 +30,18 @@ __all__ = ["CompactionPolicy", "compact_sstables", "CompactionResult"]
 
 @dataclasses.dataclass
 class CompactionPolicy:
-    """Size-tiered trigger: compact once enough files accumulate."""
+    """Size-tiered trigger: compact once enough files accumulate.
+
+    The base class doubles as the default size-tiered behaviour;
+    :mod:`repro.lsm.policy` holds the registry of selectable policies
+    (``SizeTieredPolicy`` pins this logic under its label,
+    ``LeveledPolicy`` overrides :meth:`pick`)."""
 
     min_files: int = 4          # fewest files worth merging
     max_files: int = 10         # merge at most this many at once
     major_every: int = 4        # every Nth compaction is major
+
+    label: ClassVar[str] = "size_tiered"
 
     def pick(self, sstables: Sequence[SSTable],
              compactions_done: int) -> Tuple[List[SSTable], bool]:
@@ -57,6 +65,9 @@ class CompactionResult:
     cells_written: int
     dropped_tombstones: int
     dropped_versions: int
+    # Live index entries a major compaction proved dead against the base
+    # table (validation / sync-insert GC, DESIGN.md §14).
+    dropped_dead_entries: int = 0
 
 
 def _sstable_stream(sstable: SSTable) -> Iterator[Tuple[bytes, List[Cell]]]:
@@ -78,8 +89,18 @@ def compact_sstables(sstables: Sequence[SSTable], max_versions: int,
                      major: bool, block_bytes: int,
                      name: str = "",
                      prefix_compression: bool = False,
-                     learned_epsilon: Optional[int] = None) -> CompactionResult:
-    """Pure merge of ``sstables`` into one output table."""
+                     learned_epsilon: Optional[int] = None,
+                     dead_entry_filter: Optional[Callable[[Cell], bool]] = None,
+                     ) -> CompactionResult:
+    """Pure merge of ``sstables`` into one output table.
+
+    ``dead_entry_filter`` (major compactions of index tables under lazy
+    schemes) is asked about every surviving live cell; a True verdict
+    means the entry can never validate again — its base row was
+    overwritten before ts−δ — so it is dropped and counted in
+    ``dropped_dead_entries``.  Ignored on minor compactions: a file
+    outside the merge set may hold a version the verdict depends on.
+    """
     builder = SSTableBuilder(block_bytes=block_bytes, name=name,
                              prefix_compression=prefix_compression,
                              learned_epsilon=learned_epsilon)
@@ -87,6 +108,7 @@ def compact_sstables(sstables: Sequence[SSTable], max_versions: int,
     cells_written = 0
     dropped_tombstones = 0
     dropped_versions = 0
+    dropped_dead_entries = 0
 
     streams = [_sstable_stream(t) for t in sstables]
     for key, cells in merge_key_streams(streams):
@@ -97,13 +119,19 @@ def compact_sstables(sstables: Sequence[SSTable], max_versions: int,
         tombs_out = sum(1 for c in out if c.is_tombstone)
         dropped_tombstones += tombs_in - tombs_out
         dropped_versions += dropped - (tombs_in - tombs_out)
+        if major and dead_entry_filter is not None:
+            kept = [c for c in out
+                    if c.is_tombstone or not dead_entry_filter(c)]
+            dropped_dead_entries += len(out) - len(kept)
+            out = kept
         for cell in out:
             builder.add(cell)
             cells_written += 1
 
     output = None if builder.is_empty else builder.finish()
     return CompactionResult(output, cells_read, cells_written,
-                            dropped_tombstones, dropped_versions)
+                            dropped_tombstones, dropped_versions,
+                            dropped_dead_entries)
 
 
 def _resolve_for_compaction(cells: List[Cell], max_versions: int,

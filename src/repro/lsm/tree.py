@@ -139,6 +139,10 @@ class LSMTree:
             "learned_index_probe_error", **labels)
         self._obs_learned_fallbacks = registry.counter(
             "learned_index_fallbacks_total", **labels)
+        # Which compaction policy governs this store, as a gauge-label
+        # (value is constant 1; the label carries the information).
+        registry.gauge("compaction_policy",
+                       policy=self.config.compaction.label, **labels).set(1)
         for sstable in self._sstables:
             self._bind_table_obs(sstable)
 
@@ -284,8 +288,12 @@ class LSMTree:
     def needs_compaction(self) -> bool:
         return len(self._sstables) >= self.config.compaction.min_files
 
-    def compact(self) -> Optional[CompactionResult]:
-        """Run one compaction round if the policy asks for one."""
+    def compact(self, dead_entry_filter=None) -> Optional[CompactionResult]:
+        """Run one compaction round if the policy asks for one.
+
+        ``dead_entry_filter`` (index tables under lazy schemes) only
+        applies when the policy picked a MAJOR round — minor merges
+        cannot prove an entry dead (see ``compact_sstables``)."""
         chosen, is_major = self.config.compaction.pick(
             self._sstables, self._compactions_done)
         if not chosen:
@@ -296,7 +304,8 @@ class LSMTree:
             name=f"{self.name}/compact-{self._compactions_done + 1}",
             prefix_compression=self.config.prefix_compression,
             learned_epsilon=(self.config.learned_epsilon
-                             if self.config.learned_index else None))
+                             if self.config.learned_index else None),
+            dead_entry_filter=dead_entry_filter if is_major else None)
         chosen_ids = {t.sstable_id for t in chosen}
         remaining = [t for t in self._sstables if t.sstable_id not in chosen_ids]
         if result.output is not None:

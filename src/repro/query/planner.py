@@ -30,8 +30,14 @@ class QueryPlan:
 
     def describe(self) -> str:
         if self.access_path == "index":
-            return (f"INDEX LOOKUP {self.index.name} "
+            plan = (f"INDEX LOOKUP {self.index.name} "
                     f"ON {self.table}({self.index.columns[0]})")
+            # Lazy schemes hide a per-hit base-table check behind the
+            # lookup; surface it so EXPLAIN output reflects the real read
+            # cost (sync-insert repairs, validation only filters).
+            if self.index.scheme.is_lazy:
+                plan += f" WITH BASE CHECK ({self.index.scheme.value})"
+            return plan
         return f"PARALLEL SCAN {self.table}"
 
 

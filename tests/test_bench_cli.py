@@ -39,3 +39,34 @@ def test_writes_output_file(tmp_path, capsys):
 def test_all_names_have_runners():
     for name, runner in RUNNERS.items():
         assert callable(runner), name
+
+
+# -- the standalone YCSB driver CLI -------------------------------------------
+
+def test_ycsb_cli_runs_validation(capsys):
+    from repro.ycsb.__main__ import main as ycsb_main
+    assert ycsb_main(["--scheme", "validation", "--update-fraction", "0.8",
+                      "--records", "150", "--threads", "2",
+                      "--duration-ms", "150", "--warmup-ms", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=validation" in out and "p95=" in out
+
+
+def test_ycsb_cli_accepts_every_registry_label():
+    from repro.core.schemes import SCHEME_LABELS
+    from repro.ycsb.__main__ import main as ycsb_main
+    for label in SCHEME_LABELS:
+        # parse-only check via a bad fraction: choices pass, then error
+        with pytest.raises(SystemExit):
+            ycsb_main(["--scheme", label, "--update-fraction", "2.0"])
+    with pytest.raises(SystemExit):
+        ycsb_main(["--scheme", "bogus"])
+
+
+def test_ycsb_cli_compaction_policy(capsys):
+    from repro.ycsb.__main__ import main as ycsb_main
+    assert ycsb_main(["--scheme", "validation", "--records", "120",
+                      "--threads", "2", "--duration-ms", "120",
+                      "--warmup-ms", "20",
+                      "--compaction-policy", "leveled"]) == 0
+    assert "scheme=validation" in capsys.readouterr().out

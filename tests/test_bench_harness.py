@@ -21,8 +21,9 @@ def test_scheme_labels():
     assert scheme_from_label("full") is IndexScheme.SYNC_FULL
     assert scheme_from_label("insert") is IndexScheme.SYNC_INSERT
     assert scheme_from_label("async") is IndexScheme.ASYNC_SIMPLE
+    assert scheme_from_label("validation") is IndexScheme.VALIDATION
     assert set(SCHEME_LABELS) == {"null", "insert", "full", "async",
-                                  "session"}
+                                  "session", "validation"}
 
 
 def test_experiment_builds_and_loads():

@@ -6,7 +6,10 @@ contracts:
 
 * sync-full  — the index is exactly consistent after every history;
 * sync-insert — never missing; reads never return stale rows;
-* async-*    — exactly consistent after quiesce (eventual consistency).
+* async-*    — exactly consistent after quiesce (eventual consistency);
+* validation — never missing after quiesce; reads filter (never serve)
+  stale hits, answering exactly like sync-full even when flushes and
+  compactions are interleaved with the history.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -90,6 +93,69 @@ def test_sync_insert_never_missing_and_reads_never_stale(history):
         got = sorted(h.rowkey for h in cluster.run(
             client.get_by_index("ix", equals=[value])))
         assert got == expect, (history, value)
+
+
+@relaxed
+@given(ops_strategy)
+def test_validation_never_missing_and_reads_never_stale(history):
+    cluster, client = apply_history(IndexScheme.VALIDATION, history)
+    cluster.quiesce()       # blind ships are asynchronous deliveries
+    report = check_index(cluster, "ix")
+    assert not report.missing, (history, report)
+    state = model_state(history)
+    for value in VALUES:
+        expect = sorted(r for r, v in state.items() if v == value)
+        got = sorted(h.rowkey for h in cluster.run(
+            client.get_by_index("ix", equals=[value])))
+        assert got == expect, (history, value)
+    assert cluster.staleness.stale_served == 0
+
+
+@relaxed
+@given(ops_strategy, st.data())
+def test_validation_equivalent_to_sync_full(history, data):
+    """VALIDATION answers every query exactly as SYNC_FULL does, even
+    with index-region flushes and (purging) compactions interleaved at
+    random points in the history."""
+    full_cluster, full_client = apply_history(IndexScheme.SYNC_FULL, history)
+
+    cluster = MiniCluster(num_servers=3, seed=0).start()
+    cluster.create_table("t")
+    cluster.create_index(IndexDescriptor("ix", "t", ("c",),
+                                         scheme=IndexScheme.VALIDATION),
+                         compaction_policy="leveled")
+    client = cluster.new_client()
+    index = cluster.index_descriptor("ix")
+
+    def index_regions():
+        return [(s, r) for s in cluster.alive_servers()
+                for r in list(s.regions.values())
+                if r.table.name == index.table_name]
+
+    for i, (row_idx, value_idx) in enumerate(history):
+        if value_idx is None:
+            cluster.run(client.delete("t", ROWS[row_idx], columns=["c"]))
+        else:
+            cluster.run(client.put("t", ROWS[row_idx],
+                                   {"c": VALUES[value_idx]}))
+        action = data.draw(st.integers(0, 3), label=f"action{i}")
+        if action == 0:
+            cluster.quiesce()
+            for server, region in index_regions():
+                cluster.run(server.flush_region(region))
+        elif action == 1:
+            cluster.quiesce()
+            for server, region in index_regions():
+                cluster.run(server.compact_region(region))
+
+    cluster.quiesce()
+    for value in VALUES:
+        expect = sorted(h.rowkey for h in full_cluster.run(
+            full_client.get_by_index("ix", equals=[value])))
+        got = sorted(h.rowkey for h in cluster.run(
+            client.get_by_index("ix", equals=[value])))
+        assert got == expect, (history, value)
+    assert cluster.staleness.stale_served == 0
 
 
 @relaxed
@@ -212,7 +278,7 @@ def test_placement_churn_preserves_consistency(history, data):
     cluster.quiesce()
     assert_layout_contiguous(cluster)
     report = check_index(cluster, "ix")
-    if scheme is IndexScheme.SYNC_INSERT:
+    if scheme.is_lazy:       # sync-insert and validation tolerate stale
         assert not report.missing, (history, scheme, report)
     else:
         assert report.is_consistent, (history, scheme, report)

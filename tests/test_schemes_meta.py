@@ -18,6 +18,7 @@ def test_scheme_consistency_mapping():
             is ConsistencyLevel.CAUSAL_READ_REPAIR)
     assert IndexScheme.ASYNC_SIMPLE.consistency is ConsistencyLevel.EVENTUAL
     assert IndexScheme.ASYNC_SESSION.consistency is ConsistencyLevel.SESSION
+    assert IndexScheme.VALIDATION.consistency is ConsistencyLevel.VALIDATED
 
 
 def test_scheme_async_flag():
@@ -25,6 +26,16 @@ def test_scheme_async_flag():
     assert not IndexScheme.SYNC_INSERT.is_async
     assert IndexScheme.ASYNC_SIMPLE.is_async
     assert IndexScheme.ASYNC_SESSION.is_async
+    assert not IndexScheme.VALIDATION.is_async
+
+
+def test_scheme_lazy_flag():
+    """The lazy family — schemes whose reads tolerate stale entries."""
+    assert IndexScheme.SYNC_INSERT.is_lazy
+    assert IndexScheme.VALIDATION.is_lazy
+    assert not IndexScheme.SYNC_FULL.is_lazy
+    assert not IndexScheme.ASYNC_SIMPLE.is_lazy
+    assert not IndexScheme.ASYNC_SESSION.is_lazy
 
 
 # -- the §3.4 advisor -------------------------------------------------------------
@@ -47,6 +58,30 @@ def test_advisor_principles():
     assert recommend_scheme(WorkloadProfile(
         needs_consistency=True, needs_read_your_writes=True)) \
         is IndexScheme.ASYNC_SESSION
+
+
+def test_advisor_validation_boundaries():
+    from repro.core.schemes import VALIDATION_UPDATE_FRACTION
+    assert VALIDATION_UPDATE_FRACTION == pytest.approx(0.7)
+    # (6) write-heavy + consistency -> validation, exactly at the boundary
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, update_fraction=0.7)) \
+        is IndexScheme.VALIDATION
+    # ...just below the boundary it does not fire
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, update_fraction=0.69)) \
+        is IndexScheme.SYNC_FULL
+    # read-latency-critical vetoes the read-time base check
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, update_fraction=0.9,
+        read_latency_critical=True)) is IndexScheme.SYNC_FULL
+    # without the consistency need, async still wins the write-heavy case
+    assert recommend_scheme(WorkloadProfile(update_fraction=0.9)) \
+        is IndexScheme.ASYNC_SIMPLE
+    # an unobserved ratio never triggers it
+    assert recommend_scheme(WorkloadProfile(
+        needs_consistency=True, update_latency_critical=True)) \
+        is IndexScheme.SYNC_INSERT
 
 
 # -- index descriptor ----------------------------------------------------------------
@@ -128,8 +163,26 @@ def test_staleness_invalid_rate():
 def test_staleness_reset():
     tracker = StalenessTracker()
     tracker.record(0, 10)
+    tracker.note_stale(5.0, served=False)
     tracker.reset()
     assert tracker.observed == 0 and tracker.lags_ms == []
+    assert tracker.stale_filtered == 0 and tracker.stale_debt == 0
+
+
+def test_staleness_filtered_vs_served_accounting():
+    tracker = StalenessTracker()
+    tracker.note_stale(10.0, served=False)
+    tracker.note_stale(20.0, served=False)
+    tracker.note_stale(30.0, served=True)
+    assert tracker.stale_filtered == 2
+    assert tracker.stale_served == 1
+    # Only filtered hits enter the GC queue, so only they carry debt.
+    assert tracker.stale_debt == 2
+    tracker.settle_debt()
+    tracker.settle_debt(1)
+    assert tracker.stale_debt == 0
+    tracker.settle_debt(5)          # never goes negative
+    assert tracker.stale_debt == 0
 
 
 # -- latency model ------------------------------------------------------------------------------
