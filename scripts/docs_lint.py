@@ -7,7 +7,9 @@ Fails CI when:
   (every subsystem gets a design chapter before it ships);
 * a public class re-exported in ``repro.__all__`` is missing a
   docstring (the README points users at ``help(repro.X)``);
-* README.md's architecture map forgets a package.
+* README.md's architecture map forgets a package;
+* OPERATIONS.md's module coverage forgets a package (the operator guide
+  must tell an operator where every subsystem's knobs live).
 
 Run as ``PYTHONPATH=src python scripts/docs_lint.py`` from the repo root.
 """
@@ -46,6 +48,22 @@ def check_readme_module_map(errors: list) -> None:
                 f"README.md's module map does not mention `{needle}`")
 
 
+def check_operations_coverage(errors: list) -> None:
+    operations = REPO / "OPERATIONS.md"
+    if not operations.exists():
+        errors.append("OPERATIONS.md is missing — the operator guide "
+                      "ships with the repo")
+        return
+    text = operations.read_text()
+    for package in repro_packages():
+        if f"repro.{package}" not in text \
+                and f"repro/{package}" not in text:
+            errors.append(
+                f"OPERATIONS.md does not mention `repro.{package}` — the "
+                f"operator guide's module coverage must name every "
+                f"src/repro/* package")
+
+
 def check_public_docstrings(errors: list) -> None:
     import repro
     for name in repro.__all__:
@@ -62,6 +80,7 @@ def main() -> int:
     errors: list = []
     check_design_anchors(errors)
     check_readme_module_map(errors)
+    check_operations_coverage(errors)
     check_public_docstrings(errors)
     if errors:
         for error in errors:

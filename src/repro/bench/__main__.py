@@ -108,6 +108,15 @@ def _run_perf() -> str:
     return render_perf_report(run_perf_baseline())
 
 
+def _run_scenario() -> str:
+    """Both canned scenarios as a CI gate (see :mod:`repro.scenario.
+    bench`); honours REPRO_BENCH_QUICK / REPRO_SCENARIO_JSON and writes
+    BENCH_pr9.json."""
+    from repro.scenario.bench import render_scenario_bench, \
+        run_scenario_bench
+    return render_scenario_bench(run_scenario_bench())
+
+
 RUNNERS: Dict[str, Callable[[], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -120,6 +129,7 @@ RUNNERS: Dict[str, Callable[[], str]] = {
     "drain-ablation": _run_drain_ablation,
     "metrics": _run_metrics,
     "perf": _run_perf,
+    "scenario": _run_scenario,
 }
 
 

@@ -291,7 +291,7 @@ def _mutate_fraction(exp: Experiment, fraction: float) -> None:
     if fraction <= 0:
         return
     client = exp.cluster.new_client("mutator")
-    rng = RandomStream(5)
+    rng = RandomStream(exp.config.seed + 5)
     count = int(exp.schema.record_count * fraction)
 
     def mutate():
@@ -422,7 +422,7 @@ def claim_index_vs_scan(record_count: int = 4000,
                                       scheme_label="full"))
     cluster = exp.cluster
     client = cluster.new_client("bench")
-    rng = RandomStream(9)
+    rng = RandomStream(exp.config.seed + 9)
 
     def run_plan(plan: QueryPlan) -> float:
         start = cluster.sim.now()

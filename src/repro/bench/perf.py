@@ -283,7 +283,9 @@ def _placement_section(threads: int, duration_ms: float,
         counts = {"reads": 0, "updates": 0, "client_errors": 0}
 
         def worker(wid: int):
-            rng = RandomStream(1000 + wid)
+            # Derived from the cluster's seed factory, not hardcoded, so
+            # the whole section replays under a different master seed.
+            rng = cluster.seeds.stream(f"bench/placement-worker/{wid}")
             while cluster.sim.now() < end_at:
                 i = zipf.next_index(rng)
                 try:
@@ -488,7 +490,7 @@ def _replication_section(duration_ms: float,
         stale = {"max": 0.0, "sum": 0.0, "fallbacks": 0}
 
         def worker(wid: int):
-            wrng = RandomStream(2000 + wid)
+            wrng = cluster.seeds.stream(f"bench/replication-worker/{wid}")
             while cluster.sim.now() < end_at:
                 i = wrng.randint(0, record_count - 1)
                 roll = wrng.random()

@@ -1,7 +1,8 @@
 """Diff-Index core: schemes, index metadata, coprocessors, AUQ/APS,
 getByIndex, session consistency, staleness tracking and verification."""
 
-from repro.core.adaptive import AdaptiveController, AdaptivePolicy, Decision
+from repro.core.adaptive import (AdaptiveController, AdaptivePolicy,
+                                 Decision, SloSignal)
 from repro.core.auq import IndexTask, maintain_indexes
 from repro.core.dense import DenseColumnCodec, DenseField
 from repro.core.maintenance import ScrubReport, rebuild_index, scrub_index
@@ -32,7 +33,7 @@ __all__ = [
     "IndexHit", "get_by_index", "index_scan_range",
     "Session", "StalenessTracker",
     "IndexReport", "check_index",
-    "AdaptiveController", "AdaptivePolicy", "Decision",
+    "AdaptiveController", "AdaptivePolicy", "Decision", "SloSignal",
     "DenseColumnCodec", "DenseField",
     "scrub_index", "rebuild_index", "ScrubReport",
 ]

@@ -32,7 +32,7 @@ from repro.core.schemes import ConsistencyLevel, IndexScheme
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import MiniCluster
 
-__all__ = ["AdaptivePolicy", "AdaptiveController", "Decision"]
+__all__ = ["AdaptivePolicy", "AdaptiveController", "Decision", "SloSignal"]
 
 
 @dataclasses.dataclass
@@ -48,6 +48,25 @@ class AdaptivePolicy:
     cooldown_ops: int = 100         # ops between consecutive switches
 
 
+@dataclasses.dataclass(frozen=True)
+class SloSignal:
+    """Windowed SLO compliance handed to the controller by an external
+    sampler (the scenario layer's window reports, an operator's alerting
+    pipeline, ...).  The controller cannot observe latency targets from
+    the op stream alone — violations are *declared*, exactly like the
+    consistency class — and a violation overrides the read/write-ratio
+    heuristic until a signal saying otherwise arrives."""
+
+    read_violated: bool = False
+    update_violated: bool = False
+    staleness_violated: bool = False
+
+    @property
+    def any_violation(self) -> bool:
+        return (self.read_violated or self.update_violated
+                or self.staleness_violated)
+
+
 @dataclasses.dataclass
 class Decision:
     index_name: str
@@ -55,6 +74,7 @@ class Decision:
     recommended: IndexScheme
     update_fraction: float
     acted: bool
+    reason: str = "ratio"
 
     @property
     def is_switch(self) -> bool:
@@ -81,7 +101,9 @@ class AdaptiveController:
         self.online_actuation = online_actuation
         self._window: Deque[str] = deque(maxlen=self.policy.window_ops)
         self._ops_since_switch = 0
+        self._slo: Optional[SloSignal] = None
         self.switches: list = []
+        self.switch_events: list = []   # dicts: at_ms/from/to/reason
         self.jobs: list = []     # DdlJob handles from online actuations
 
     # -- observation hooks (call from the application / driver) ---------------
@@ -93,6 +115,12 @@ class AdaptiveController:
     def observe_read(self) -> None:
         self._window.append("read")
         self._ops_since_switch += 1
+
+    def observe_slo(self, signal: Optional[SloSignal]) -> None:
+        """Feed the latest windowed SLO compliance (see
+        :class:`SloSignal`); ``None`` clears it and returns the
+        controller to pure ratio-driven selection."""
+        self._slo = signal
 
     @property
     def update_fraction(self) -> float:
@@ -119,25 +147,49 @@ class AdaptiveController:
         return (IndexScheme.SYNC_FULL, IndexScheme.SYNC_INSERT,
                 IndexScheme.ASYNC_SIMPLE, IndexScheme.VALIDATION)
 
-    def recommend(self) -> IndexScheme:
+    def _cheapest_update_scheme(self, candidates) -> IndexScheme:
+        """The cheapest allowed update path (§3.4 principle (3)/(4);
+        validation beats sync-insert but loses to a pure async
+        enqueue)."""
+        if IndexScheme.ASYNC_SIMPLE in candidates:
+            return IndexScheme.ASYNC_SIMPLE
+        if IndexScheme.VALIDATION in candidates:
+            return IndexScheme.VALIDATION
+        return IndexScheme.SYNC_INSERT
+
+    def recommend_with_reason(self) -> Tuple[IndexScheme, str]:
         candidates = self._candidates()
         if len(candidates) == 1:
-            return candidates[0]
+            return candidates[0], "pinned"
+        # An SLO violation overrides the ratio heuristic: the sampler has
+        # told us which side of the latency/staleness trade-off is
+        # actually hurting, which beats inferring it from the mix.
+        slo = self._slo
+        if slo is not None and slo.any_violation:
+            if ((slo.read_violated or slo.staleness_violated)
+                    and IndexScheme.SYNC_FULL in candidates
+                    and not slo.update_violated):
+                # Reads (or freshness) are hurting and updates are fine:
+                # pay at write time, read clean (§3.4 principle (2); a
+                # sync index has no staleness and no read-time check).
+                reason = ("slo-read" if slo.read_violated
+                          else "slo-staleness")
+                return IndexScheme.SYNC_FULL, reason
+            if slo.update_violated and not slo.read_violated:
+                return self._cheapest_update_scheme(candidates), "slo-update"
+            # Both sides violated (overload, not scheme choice): fall
+            # through to the ratio rule rather than flapping.
         fraction = self.update_fraction
         if fraction >= self.policy.write_heavy_threshold:
-            # Update latency is what matters: the cheapest allowed update
-            # path (§3.4 principle (3)/(4); validation beats sync-insert
-            # but loses to a pure async enqueue).
-            if IndexScheme.ASYNC_SIMPLE in candidates:
-                return IndexScheme.ASYNC_SIMPLE
-            if IndexScheme.VALIDATION in candidates:
-                return IndexScheme.VALIDATION
-            return IndexScheme.SYNC_INSERT
+            return self._cheapest_update_scheme(candidates), "ratio"
         if fraction <= self.policy.read_heavy_threshold:
             # Read latency is what matters (§3.4 principle (2)).
-            return IndexScheme.SYNC_FULL
+            return IndexScheme.SYNC_FULL, "ratio"
         # Mixed zone: keep the current scheme (hysteresis).
-        return self.current_scheme()
+        return self.current_scheme(), "hysteresis"
+
+    def recommend(self) -> IndexScheme:
+        return self.recommend_with_reason()[0]
 
     def current_scheme(self) -> IndexScheme:
         return self.cluster.index_descriptor(self.index_name).scheme
@@ -145,9 +197,10 @@ class AdaptiveController:
     def evaluate(self) -> Decision:
         """Recommend and, if warranted, perform the switch."""
         current = self.current_scheme()
-        recommended = self.recommend()
+        recommended, reason = self.recommend_with_reason()
         decision = Decision(self.index_name, current, recommended,
-                            self.update_fraction, acted=False)
+                            self.update_fraction, acted=False,
+                            reason=reason)
         if (recommended is current
                 or len(self._window) < self.policy.min_ops_to_act
                 or self._ops_since_switch < self.policy.cooldown_ops):
@@ -157,6 +210,11 @@ class AdaptiveController:
         if job is not None:
             self.jobs.append(job)
         self._ops_since_switch = 0
-        self.switches.append((self.cluster.sim.now(), current, recommended))
+        now = self.cluster.sim.now()
+        self.switches.append((now, current, recommended))
+        self.switch_events.append({
+            "at_ms": round(now, 3), "index": self.index_name,
+            "from": current.value, "to": recommended.value,
+            "reason": reason})
         decision.acted = True
         return decision

@@ -1,0 +1,34 @@
+"""repro.scenario — declarative scenario orchestration.
+
+Composes open-loop non-homogeneous traffic (:mod:`~repro.scenario.
+arrival`), multi-tenant SLO specs (:mod:`~repro.scenario.spec`,
+:mod:`~repro.scenario.slo`), failure storms, and SLO-driven adaptive
+scheme switching into one replayable run (:mod:`~repro.scenario.
+runner`) with a report artifact (:mod:`~repro.scenario.report`).
+
+Run a canned scenario from the CLI::
+
+    PYTHONPATH=src python -m repro.scenario --scenario diurnal_flash_crowd --quick
+"""
+
+from repro.scenario.arrival import (ConstantRate, DiurnalRate, HotspotChooser,
+                                    HotspotPhase, HotspotSchedule,
+                                    MixSchedule, RateCurve, SpikedRate,
+                                    expected_ops, poisson_arrivals)
+from repro.scenario.report import ScenarioReport, TenantResult
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.scenarios import (SCENARIOS, diurnal_flash_crowd,
+                                      failure_storm)
+from repro.scenario.slo import MIN_SAMPLES, WindowAccumulator, WindowReport
+from repro.scenario.spec import (ScenarioSpec, SloSpec, StormEvent,
+                                 TenantSpec)
+
+__all__ = [
+    "RateCurve", "ConstantRate", "DiurnalRate", "SpikedRate",
+    "poisson_arrivals", "expected_ops", "HotspotPhase", "HotspotSchedule",
+    "HotspotChooser", "MixSchedule",
+    "SloSpec", "TenantSpec", "StormEvent", "ScenarioSpec",
+    "WindowAccumulator", "WindowReport", "MIN_SAMPLES",
+    "ScenarioRunner", "ScenarioReport", "TenantResult",
+    "SCENARIOS", "diurnal_flash_crowd", "failure_storm",
+]

@@ -1,0 +1,77 @@
+"""CLI: run a canned scenario and emit its report.
+
+::
+
+    PYTHONPATH=src python -m repro.scenario --list
+    PYTHONPATH=src python -m repro.scenario --scenario diurnal_flash_crowd \
+        --quick --json report.json --md report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.scenarios import SCENARIOS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="Run a canned Diff-Index scenario and emit its "
+                    "SLO-compliance report.")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        help="canned scenario to run")
+    parser.add_argument("--list", action="store_true",
+                        help="list canned scenarios and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized horizon (seconds of wall clock)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the JSON report here")
+    parser.add_argument("--md", metavar="PATH",
+                        help="write the markdown report here")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            spec = SCENARIOS[name](quick=True)
+            print(f"{name}: {spec.description}")
+        return 0
+    if not args.scenario:
+        parser.error("--scenario is required (or use --list)")
+
+    spec = SCENARIOS[args.scenario](quick=args.quick)
+    report = ScenarioRunner(spec, seed=args.seed).run()
+    report.write(json_path=args.json, md_path=args.md)
+    if args.md or args.json:
+        print(f"wrote {args.json or ''} {args.md or ''}".strip())
+        # Still print the summary table for the log.
+        print()
+    print(report.to_markdown() if not args.json
+          else json.dumps(_summary(report), indent=2))
+    return 0
+
+
+def _summary(report) -> dict:
+    data = report.to_dict()
+    return {
+        "scenario": data["scenario"],
+        "sim_ms": data["sim_ms"],
+        "wall_seconds": data["meta"]["wall_seconds"],
+        "tenants": {
+            name: {
+                "compliance": t["compliance"],
+                "final_scheme": t["final_scheme"],
+                "switches": len(t["switches"]),
+                "acked_write_loss": t["acked_write_loss"],
+            } for name, t in data["tenants"].items()
+        },
+        "promotions": data["cluster"]["promotions"],
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

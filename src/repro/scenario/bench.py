@@ -1,0 +1,137 @@
+"""Scenario CI gate: ``python -m repro.bench scenario`` → BENCH_pr9.json.
+
+Runs both canned scenarios and distils each into a small set of boolean
+``checks`` plus the windowed compliance numbers CI floors are asserted
+against:
+
+* ``diurnal_flash_crowd`` — the adaptive controller must perform at
+  least one *live* scheme switch inside the flash-crowd window, and the
+  switching tenant's SLO must hold from the switch onward;
+* ``failure_storm`` — at least one promotion failover must happen, the
+  SLO-driven (staleness) switch must fire, every tenant must end the
+  run in a compliant window, and **zero acked writes may be lost**.
+
+Environment: ``REPRO_BENCH_QUICK=1`` for the CI-sized horizon,
+``REPRO_SCENARIO_JSON=path`` to redirect the artifact (default
+``BENCH_pr9.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.scenarios import diurnal_flash_crowd, failure_storm
+
+__all__ = ["run_scenario_bench", "render_scenario_bench",
+           "OUTPUT_ENV", "DEFAULT_OUTPUT"]
+
+OUTPUT_ENV = "REPRO_SCENARIO_JSON"
+DEFAULT_OUTPUT = "BENCH_pr9.json"
+QUICK_ENV = "REPRO_BENCH_QUICK"
+
+
+def _tenant_summary(result) -> Dict[str, Any]:
+    return {
+        "compliance": round(result.compliance, 4),
+        "windows_total": len(result.windows),
+        "windows_compliant": sum(1 for w in result.windows if w.compliant),
+        "violation_windows": [w.index for w in result.violation_windows],
+        "switches": list(result.switches),
+        "final_scheme": result.final_scheme,
+        "acked_writes": result.acked_writes,
+        "acked_write_loss": result.acked_write_loss,
+        "last_window_compliant": (result.windows[-1].compliant
+                                  if result.windows else True),
+    }
+
+
+def _flash_crowd_section(quick: bool, seed: int) -> Dict[str, Any]:
+    spec = diurnal_flash_crowd(quick=quick)
+    report = ScenarioRunner(spec, seed=seed).run()
+    crowd_start, crowd_end = 0.4 * spec.duration_ms, 0.8 * spec.duration_ms
+    storefront = report.tenants["storefront"]
+    # A switch decided at a window close inside (or right at the end of)
+    # the crowd counts as "during" it.
+    crowd_switches = [s for s in storefront.switches
+                      if crowd_start <= s["at_ms"]
+                      <= crowd_end + spec.window_ms]
+    held_after = (storefront.compliance_after(crowd_switches[0]["at_ms"])
+                  if crowd_switches else 0.0)
+    return {
+        "tenants": {name: _tenant_summary(t)
+                    for name, t in sorted(report.tenants.items())},
+        "sim_ms": round(report.sim_ms, 3),
+        "wall_seconds": round(report.wall_seconds, 3),
+        "checks": {
+            "live_switch_during_crowd": bool(crowd_switches),
+            "slo_held_after_switch": held_after >= 1.0,
+            "no_acked_write_loss": all(
+                t.acked_write_loss == 0 for t in report.tenants.values()),
+        },
+        "compliance_after_switch": round(held_after, 4),
+    }
+
+
+def _failure_storm_section(quick: bool, seed: int) -> Dict[str, Any]:
+    spec = failure_storm(quick=quick)
+    report = ScenarioRunner(spec, seed=seed).run()
+    audit = report.tenants["audit"]
+    slo_switches = [s for s in audit.switches
+                    if s["reason"].startswith("slo")]
+    return {
+        "tenants": {name: _tenant_summary(t)
+                    for name, t in sorted(report.tenants.items())},
+        "storm_log": list(report.storm_log),
+        "promotions": report.promotions,
+        "sim_ms": round(report.sim_ms, 3),
+        "wall_seconds": round(report.wall_seconds, 3),
+        "checks": {
+            "promotion_failover": report.promotions >= 1,
+            "slo_driven_switch": bool(slo_switches),
+            "no_acked_write_loss": all(
+                t.acked_write_loss == 0 for t in report.tenants.values()),
+            "all_tenants_recovered": all(
+                t.windows and t.windows[-1].compliant
+                for t in report.tenants.values()),
+        },
+    }
+
+
+def run_scenario_bench(seed: int = 42) -> Dict[str, Any]:
+    quick = os.environ.get(QUICK_ENV, "") not in ("", "0")
+    payload: Dict[str, Any] = {
+        "bench": "pr9-scenario",
+        "quick": quick,
+        "seed": seed,
+        "scenarios": {
+            "diurnal_flash_crowd": _flash_crowd_section(quick, seed),
+            "failure_storm": _failure_storm_section(quick, seed),
+        },
+    }
+    out = os.environ.get(OUTPUT_ENV, DEFAULT_OUTPUT)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    payload["_output_path"] = out
+    return payload
+
+
+def render_scenario_bench(payload: Dict[str, Any]) -> str:
+    lines = [f"scenario bench ({'quick' if payload['quick'] else 'full'}) "
+             f"→ {payload.get('_output_path', DEFAULT_OUTPUT)}"]
+    for name, section in sorted(payload["scenarios"].items()):
+        checks = " ".join(
+            f"{key}={'PASS' if ok else 'FAIL'}"
+            for key, ok in sorted(section["checks"].items()))
+        lines.append(f"  {name}: {checks}")
+        for tenant, summary in sorted(section["tenants"].items()):
+            lines.append(
+                f"    {tenant}: compliance="
+                f"{summary['compliance']:.0%} "
+                f"switches={len(summary['switches'])} "
+                f"final={summary['final_scheme']} "
+                f"loss={summary['acked_write_loss']}")
+    return "\n".join(lines)

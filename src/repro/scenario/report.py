@@ -1,0 +1,221 @@
+"""Scenario report artifact: the run, rendered for humans and CI.
+
+A :class:`ScenarioReport` is the single output of a scenario run — the
+per-tenant window-by-window SLO record, the scheme-switch timeline the
+adaptive controllers produced, the storm log as applied, failover
+promotions, and the acked-write durability audit.  ``to_dict()`` is
+deterministic (two runs from the same spec + seed serialise
+identically, ``wall_seconds`` excepted and therefore kept in a separate
+top-level key); ``to_markdown()`` renders the same data as the operator-
+facing summary CI uploads next to the JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.scenario.slo import WindowReport
+from repro.scenario.spec import ScenarioSpec, TenantSpec
+
+__all__ = ["TenantResult", "ScenarioReport"]
+
+
+@dataclasses.dataclass
+class TenantResult:
+    """One tenant's full scenario outcome."""
+
+    spec: TenantSpec
+    windows: List[WindowReport]
+    issued: int
+    acked_writes: int
+    audited_writes: int
+    acked_write_loss: int
+    final_scheme: str
+    switches: List[Dict[str, Any]]
+
+    @property
+    def violation_windows(self) -> List[WindowReport]:
+        return [w for w in self.windows if not w.compliant]
+
+    @property
+    def compliance(self) -> float:
+        if not self.windows:
+            return 1.0
+        ok = sum(1 for w in self.windows if w.compliant)
+        return ok / len(self.windows)
+
+    def compliance_after(self, at_ms: float) -> float:
+        """Windowed compliance restricted to windows that *start* at or
+        after ``at_ms`` — "did the switch at t fix it?" in one number."""
+        tail = [w for w in self.windows if w.start_ms >= at_ms]
+        if not tail:
+            return 1.0
+        return sum(1 for w in tail if w.compliant) / len(tail)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.spec.slo.to_dict(),
+            "initial_scheme": self.spec.scheme.value,
+            "final_scheme": self.final_scheme,
+            "consistency": self.spec.consistency.value,
+            "adaptive": self.spec.adaptive,
+            "issued": self.issued,
+            "acked_writes": self.acked_writes,
+            "audited_writes": self.audited_writes,
+            "acked_write_loss": self.acked_write_loss,
+            "windows_total": len(self.windows),
+            "windows_compliant": sum(
+                1 for w in self.windows if w.compliant),
+            "compliance": round(self.compliance, 4),
+            "switches": list(self.switches),
+            "violation_windows": [w.index
+                                  for w in self.violation_windows],
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+@dataclasses.dataclass
+class ScenarioReport:
+    spec: ScenarioSpec
+    seed: int
+    tenants: Dict[str, TenantResult]
+    storm_log: List[Dict[str, Any]]
+    promotions: int
+    splits: int
+    moves: int
+    stale_served: int
+    stale_debt_end: int
+    sim_ms: float
+    wall_seconds: float
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic core + a separate non-deterministic block (the
+        wall clock), so golden tests can compare everything but it."""
+        return {
+            "scenario": self.spec.name,
+            "description": self.spec.description,
+            "seed": self.seed,
+            "duration_ms": self.spec.duration_ms,
+            "window_ms": self.spec.window_ms,
+            "num_servers": self.spec.num_servers,
+            "replication_factor": self.spec.replication_factor,
+            "sim_ms": round(self.sim_ms, 3),
+            "tenants": {name: result.to_dict()
+                        for name, result in sorted(self.tenants.items())},
+            "storm_log": list(self.storm_log),
+            "cluster": {
+                "promotions": self.promotions,
+                "splits": self.splits,
+                "moves": self.moves,
+                "stale_served": self.stale_served,
+                "stale_debt_end": self.stale_debt_end,
+            },
+            "meta": {"wall_seconds": round(self.wall_seconds, 3)},
+        }
+
+    def write(self, json_path: Optional[str] = None,
+              md_path: Optional[str] = None) -> None:
+        if json_path:
+            Path(json_path).write_text(
+                json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                + "\n")
+        if md_path:
+            Path(md_path).write_text(self.to_markdown())
+
+    # -- markdown rendering ----------------------------------------------------
+
+    def to_markdown(self) -> str:
+        lines: List[str] = []
+        out = lines.append
+        out(f"# Scenario report: `{self.spec.name}`")
+        out("")
+        if self.spec.description:
+            out(self.spec.description)
+            out("")
+        out(f"- seed: {self.seed}")
+        out(f"- horizon: {self.spec.duration_ms:.0f} ms simulated "
+            f"({len(next(iter(self.tenants.values())).windows)} windows of "
+            f"{self.spec.window_ms:.0f} ms)"
+            if self.tenants else f"- horizon: {self.spec.duration_ms:.0f} ms")
+        out(f"- cluster: {self.spec.num_servers} servers, "
+            f"rf={self.spec.replication_factor}")
+        out(f"- wall clock: {self.wall_seconds:.2f} s")
+        out("")
+
+        out("## Tenants")
+        out("")
+        out("| tenant | scheme (start → end) | windows ok | compliance "
+            "| acked writes | lost | switches |")
+        out("|---|---|---|---|---|---|---|")
+        for name, result in sorted(self.tenants.items()):
+            total = len(result.windows)
+            ok = total - len(result.violation_windows)
+            arrow = (result.spec.scheme.value
+                     if result.spec.scheme.value == result.final_scheme
+                     else f"{result.spec.scheme.value} → "
+                          f"{result.final_scheme}")
+            out(f"| {name} | {arrow} | {ok}/{total} "
+                f"| {result.compliance:.0%} | {result.acked_writes} "
+                f"| {result.acked_write_loss} | {len(result.switches)} |")
+        out("")
+
+        for name, result in sorted(self.tenants.items()):
+            if result.switches:
+                out(f"### Scheme-switch timeline — {name}")
+                out("")
+                for event in result.switches:
+                    out(f"- t={event['at_ms']:.0f} ms: "
+                        f"`{event['from']}` → `{event['to']}` "
+                        f"(reason: {event['reason']})")
+                out("")
+            violations = result.violation_windows
+            if violations:
+                out(f"### Violation windows — {name}")
+                out("")
+                out("| window | t (ms) | scheme | read p95 | update p95 "
+                    "| staleness max | failed |")
+                out("|---|---|---|---|---|---|---|")
+                for w in violations:
+                    marks = []
+                    if not w.read_ok:
+                        marks.append("read")
+                    if not w.update_ok:
+                        marks.append("update")
+                    if not w.staleness_ok:
+                        marks.append("staleness")
+                    out(f"| {w.index} ({'+'.join(marks)}) "
+                        f"| {w.start_ms:.0f}–{w.end_ms:.0f} | {w.scheme} "
+                        f"| {w.read_p95_ms:.1f} | {w.update_p95_ms:.1f} "
+                        f"| {w.staleness_max_ms:.1f} | {w.failed} |")
+                out("")
+
+        if self.storm_log:
+            out("## Storm log")
+            out("")
+            for entry in self.storm_log:
+                detail = ""
+                if entry["kind"] == "degrade":
+                    detail = f" (+{entry['extra_ms']:.0f} ms into " \
+                             f"{entry['target']})"
+                elif entry["kind"] == "kill":
+                    detail = f" ({entry['target']})"
+                elif entry["kind"] == "fault_rate":
+                    detail = f" (p={entry['probability']})"
+                applied = "" if entry.get("applied", True) else " [skipped]"
+                out(f"- t={entry['at_ms']:.0f} ms: "
+                    f"{entry['kind']}{detail}{applied}")
+            out("")
+
+        out("## Cluster")
+        out("")
+        out(f"- failover promotions: {self.promotions}")
+        out(f"- region splits: {self.splits}, moves: {self.moves}")
+        out(f"- stale index hits served: {self.stale_served}; "
+            f"stale debt at end: {self.stale_debt_end}")
+        out("")
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Canned scenarios.
+
+Two end-to-end stories, each exercising a different failure of static
+configuration:
+
+* :func:`diurnal_flash_crowd` — a write-heavy storefront tenant rides a
+  diurnal curve until a flash crowd triples its traffic AND flips it
+  read-heavy onto a narrow hot key slice.  Its sync-insert index (right
+  for the steady state) starts paying the read-time double-check on
+  every crowded read; the armed adaptive controller must switch it to
+  sync-full *live* to pull read p95 back under the SLO.  A second,
+  async-indexed analytics tenant shares the cluster to keep the APS busy
+  and the staleness ledger honest.
+
+* :func:`failure_storm` — a payments tenant (sync-full, rf=3) takes
+  fresh-key inserts while a rolling storm kills a server, degrades the
+  links into another, and injects RPC faults, then clears.  The claims
+  under test: a promotion failover happens, and **zero acked writes are
+  lost** — every put the client saw succeed is durably readable after
+  the storm.
+
+Each factory takes ``quick`` (CI-sized horizon) and a ``seed``; specs
+are pure data, so the same (spec, seed) is the same history.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.schemes import ConsistencyLevel, IndexScheme
+from repro.scenario.arrival import (ConstantRate, DiurnalRate, HotspotPhase,
+                                    HotspotSchedule, MixSchedule, SpikedRate)
+from repro.scenario.spec import (ScenarioSpec, SloSpec, StormEvent,
+                                 TenantSpec)
+
+__all__ = ["diurnal_flash_crowd", "failure_storm", "SCENARIOS"]
+
+
+def diurnal_flash_crowd(quick: bool = False) -> ScenarioSpec:
+    # One compressed "day" = the horizon; the flash crowd hits in the
+    # [40%, 80%) stretch of it.
+    duration = 3000.0 if quick else 9000.0
+    window = 500.0 if quick else 750.0
+    crowd_start, crowd_end = 0.4 * duration, 0.8 * duration
+    base_tps = 150.0 if quick else 220.0
+
+    storefront = TenantSpec(
+        name="storefront",
+        records=600 if quick else 2000,
+        scheme=IndexScheme.SYNC_INSERT,
+        consistency=ConsistencyLevel.CAUSAL,
+        adaptive=True,
+        arrival=SpikedRate(
+            base=DiurnalRate(trough_tps=base_tps * 0.6,
+                             crest_tps=base_tps,
+                             period_ms=duration, phase=0.0),
+            spikes=((crowd_start, crowd_end, 3.0),)),
+        mix=MixSchedule([
+            # Steady state: update-dominated (sync-insert's home turf).
+            (0.0, {"update": 0.75, "index_read": 0.25}),
+            # The crowd reads: celebrity lookups via the title index.
+            (crowd_start, {"update": 0.12, "index_read": 0.88}),
+            (crowd_end, {"update": 0.75, "index_read": 0.25}),
+        ]),
+        hotspots=HotspotSchedule(phases=(
+            HotspotPhase(start_ms=crowd_start, end_ms=crowd_end,
+                         center=0.8, width=0.05, weight=0.9),)),
+        slo=SloSpec(read_p95_ms=35.0, update_p95_ms=30.0),
+        distribution="uniform",
+    )
+
+    analytics = TenantSpec(
+        name="analytics",
+        records=400 if quick else 1500,
+        scheme=IndexScheme.ASYNC_SIMPLE,
+        consistency=ConsistencyLevel.EVENTUAL,
+        adaptive=False,
+        arrival=ConstantRate(tps=60.0 if quick else 90.0),
+        mix=MixSchedule([(0.0, {"update": 0.9, "index_read": 0.1})]),
+        slo=SloSpec(update_p95_ms=12.0, max_staleness_ms=1500.0),
+        distribution="zipfian",
+    )
+
+    return ScenarioSpec(
+        name="diurnal_flash_crowd",
+        description=(
+            "Diurnal storefront traffic with a 3x flash crowd that flips "
+            "the mix read-heavy onto a hot key slice; the adaptive "
+            "controller must switch the index scheme live to hold the "
+            "read SLO. An async analytics tenant shares the cluster."),
+        duration_ms=duration, window_ms=window,
+        tenants=(storefront, analytics),
+        num_servers=4,
+    )
+
+
+def failure_storm(quick: bool = False) -> ScenarioSpec:
+    duration = 3000.0 if quick else 8000.0
+    window = 500.0 if quick else 800.0
+
+    payments = TenantSpec(
+        name="payments",
+        records=500 if quick else 1600,
+        scheme=IndexScheme.SYNC_FULL,
+        consistency=ConsistencyLevel.CAUSAL,
+        adaptive=False,
+        arrival=ConstantRate(tps=110.0 if quick else 160.0),
+        # Fresh-key inserts so durability can be audited by existence.
+        mix=MixSchedule([(0.0, {"insert": 0.5, "index_read": 0.25,
+                                "base_read": 0.25})]),
+        slo=SloSpec(update_p95_ms=40.0),
+        insert_keys=True,
+    )
+
+    # The audit tenant is the SLO-driven adaptation story: async-simple
+    # is right for its write-heavy mix, but the kill's AUQ stall blows
+    # its staleness bound — the controller must switch it to sync-full
+    # (reason "slo-staleness") until the fabric is clean again.
+    audit = TenantSpec(
+        name="audit",
+        records=400 if quick else 1200,
+        scheme=IndexScheme.ASYNC_SIMPLE,
+        consistency=ConsistencyLevel.EVENTUAL,
+        adaptive=True,
+        arrival=ConstantRate(tps=90.0 if quick else 130.0),
+        mix=MixSchedule([(0.0, {"update": 0.85, "index_read": 0.15})]),
+        slo=SloSpec(max_staleness_ms=300.0),
+    )
+
+    t = duration / 3000.0   # storm schedule scales with the horizon
+    storm = (
+        StormEvent(at_ms=700.0 * t, kind="kill", target="rs2"),
+        StormEvent(at_ms=1100.0 * t, kind="degrade", target="rs3",
+                   extra_ms=4.0),
+        StormEvent(at_ms=1400.0 * t, kind="fault_rate", probability=0.03),
+        StormEvent(at_ms=2000.0 * t, kind="fault_rate", probability=0.0),
+        StormEvent(at_ms=2200.0 * t, kind="clear"),
+    )
+
+    return ScenarioSpec(
+        name="failure_storm",
+        description=(
+            "Rolling failure storm over a replicated cluster (rf=3): a "
+            "server kill forces promotion failover, link degradation and "
+            "RPC faults stress the recovery window, then the fabric "
+            "clears. Acked-write durability is audited after the storm."),
+        duration_ms=duration, window_ms=window,
+        tenants=(payments, audit),
+        storm=storm,
+        num_servers=5,
+        replication_factor=3,
+        heartbeat_timeout_ms=400.0,
+    )
+
+
+SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "diurnal_flash_crowd": diurnal_flash_crowd,
+    "failure_storm": failure_storm,
+}

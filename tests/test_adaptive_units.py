@@ -78,3 +78,77 @@ def test_decision_reports_fields(cluster):
     assert decision.update_fraction == 1.0
     assert decision.is_switch
     assert decision.acted
+
+
+# -- SLO-signal-driven selection (scenario layer's sensor input) -------------
+
+def test_slo_read_violation_overrides_write_heavy_ratio(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()           # ratio alone says async
+    assert ctrl.recommend() is IndexScheme.ASYNC_SIMPLE
+    ctrl.observe_slo(SloSignal(read_violated=True))
+    scheme, reason = ctrl.recommend_with_reason()
+    assert scheme is IndexScheme.SYNC_FULL
+    assert reason == "slo-read"
+
+
+def test_slo_staleness_violation_forces_sync_full(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()
+    ctrl.observe_slo(SloSignal(staleness_violated=True))
+    scheme, reason = ctrl.recommend_with_reason()
+    assert scheme is IndexScheme.SYNC_FULL
+    assert reason == "slo-staleness"
+
+
+def test_slo_update_violation_picks_cheapest_update_scheme(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_read()             # ratio alone says sync-full
+    ctrl.observe_slo(SloSignal(update_violated=True))
+    scheme, reason = ctrl.recommend_with_reason()
+    assert scheme is IndexScheme.ASYNC_SIMPLE
+    assert reason == "slo-update"
+
+
+def test_slo_both_sides_violated_falls_back_to_ratio(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_read()
+    ctrl.observe_slo(SloSignal(read_violated=True, update_violated=True))
+    scheme, reason = ctrl.recommend_with_reason()
+    assert scheme is IndexScheme.SYNC_FULL
+    assert reason == "ratio"
+
+
+def test_clearing_slo_signal_restores_ratio_rule(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()
+    ctrl.observe_slo(SloSignal(read_violated=True))
+    assert ctrl.recommend() is IndexScheme.SYNC_FULL
+    ctrl.observe_slo(None)
+    assert ctrl.recommend() is IndexScheme.ASYNC_SIMPLE
+
+
+def test_acted_switch_records_switch_event_with_reason(cluster):
+    from repro.core import SloSignal
+    ctrl = make(cluster)
+    for _ in range(20):
+        ctrl.observe_update()
+    ctrl.observe_slo(SloSignal(read_violated=True))
+    decision = ctrl.evaluate()
+    assert decision.acted and decision.reason == "slo-read"
+    assert len(ctrl.switch_events) == 1
+    event = ctrl.switch_events[0]
+    assert event["index"] == "ix"
+    assert event["from"] == "sync-insert"
+    assert event["to"] == "sync-full"
+    assert event["reason"] == "slo-read"

@@ -1,0 +1,172 @@
+"""Unit tests for the scenario arrival machinery: non-homogeneous
+Poisson generation (count ≈ rate integral), rate-curve shapes, hotspot
+shift timing, and time-varying mixes."""
+
+import math
+
+import pytest
+
+from repro.scenario.arrival import (ConstantRate, DiurnalRate, HotspotChooser,
+                                    HotspotPhase, HotspotSchedule,
+                                    MixSchedule, SpikedRate, expected_ops,
+                                    poisson_arrivals)
+from repro.sim.random import RandomStream
+from repro.ycsb.distributions import Uniform
+
+
+# -- rate curves -------------------------------------------------------------
+
+
+def test_diurnal_rate_oscillates_between_trough_and_crest():
+    curve = DiurnalRate(trough_tps=100.0, crest_tps=300.0,
+                        period_ms=1000.0, phase=0.0)
+    samples = [curve.rate_tps(t) for t in range(0, 1000, 10)]
+    assert min(samples) >= 100.0 - 1e-9
+    assert max(samples) <= 300.0 + 1e-9
+    # phase=0 starts at the midpoint on the way up; crest at period/4.
+    assert curve.rate_tps(0.0) == pytest.approx(200.0)
+    assert curve.rate_tps(250.0) == pytest.approx(300.0)
+    assert curve.rate_tps(750.0) == pytest.approx(100.0)
+
+
+def test_spiked_rate_multiplies_only_inside_window():
+    curve = SpikedRate(base=ConstantRate(100.0),
+                       spikes=((500.0, 700.0, 3.0),))
+    assert curve.rate_tps(499.9) == pytest.approx(100.0)
+    assert curve.rate_tps(500.0) == pytest.approx(300.0)
+    assert curve.rate_tps(699.9) == pytest.approx(300.0)
+    assert curve.rate_tps(700.0) == pytest.approx(100.0)
+    assert curve.peak_tps == pytest.approx(300.0)
+
+
+def test_expected_ops_integrates_the_curve():
+    # Constant: exact.  100 tps for 2 s = 200 ops.
+    assert expected_ops(ConstantRate(100.0), 0.0, 2000.0) \
+        == pytest.approx(200.0)
+    # Diurnal over a whole period: the sinusoid integrates to the mean.
+    diurnal = DiurnalRate(trough_tps=50.0, crest_tps=150.0,
+                          period_ms=1000.0)
+    assert expected_ops(diurnal, 0.0, 1000.0) \
+        == pytest.approx(100.0, rel=1e-3)
+
+
+# -- thinning generator ------------------------------------------------------
+
+
+def test_poisson_arrival_count_matches_rate_integral():
+    """The generated arrival count must track ∫rate dt for a strongly
+    non-homogeneous curve (diurnal + flash spike): Poisson(n) has sd
+    √n, so 5 sd is a deterministic-in-practice band for a fixed seed."""
+    curve = SpikedRate(
+        base=DiurnalRate(trough_tps=60.0, crest_tps=140.0,
+                         period_ms=4000.0),
+        spikes=((1000.0, 2000.0, 2.5),))
+    expected = expected_ops(curve, 0.0, 4000.0)
+    arrivals = list(poisson_arrivals(curve, RandomStream(123),
+                                     0.0, 4000.0))
+    assert abs(len(arrivals) - expected) <= 5.0 * math.sqrt(expected)
+    # Ordered, inside the horizon.
+    assert arrivals == sorted(arrivals)
+    assert 0.0 <= arrivals[0] and arrivals[-1] < 4000.0
+
+
+def test_poisson_arrivals_concentrate_in_the_spike():
+    curve = SpikedRate(base=ConstantRate(50.0),
+                       spikes=((1000.0, 2000.0, 4.0),))
+    arrivals = list(poisson_arrivals(curve, RandomStream(7), 0.0, 3000.0))
+    inside = sum(1 for t in arrivals if 1000.0 <= t < 2000.0)
+    outside = len(arrivals) - inside
+    # Spike window offers 200 tps for 1 s vs 50 tps over the other 2 s:
+    # 2:1 expected ratio; require the concentration to be clearly there.
+    assert inside > 1.5 * outside
+
+
+def test_poisson_arrivals_deterministic_per_seed():
+    curve = DiurnalRate(trough_tps=40.0, crest_tps=120.0, period_ms=2000.0)
+    a = list(poisson_arrivals(curve, RandomStream(99), 0.0, 2000.0))
+    b = list(poisson_arrivals(curve, RandomStream(99), 0.0, 2000.0))
+    c = list(poisson_arrivals(curve, RandomStream(100), 0.0, 2000.0))
+    assert a == b
+    assert a != c
+
+
+def test_poisson_arrivals_zero_rate_yields_nothing():
+    assert list(poisson_arrivals(ConstantRate(0.0), RandomStream(1),
+                                 0.0, 1000.0)) == []
+
+
+# -- hotspot shifts ----------------------------------------------------------
+
+
+def test_hotspot_schedule_activates_exactly_in_window():
+    phase = HotspotPhase(start_ms=1000.0, end_ms=2000.0,
+                         center=0.8, width=0.1)
+    schedule = HotspotSchedule(phases=(phase,))
+    assert schedule.active(999.9) is None
+    assert schedule.active(1000.0) is phase
+    assert schedule.active(1999.9) is phase
+    assert schedule.active(2000.0) is None
+
+
+def test_hotspot_chooser_shifts_draws_during_the_phase():
+    """Before the phase: uniform draws.  During it: ``weight`` of the
+    draws land in the hot slice.  The chooser follows the injected
+    clock, so the shift timing is exact."""
+    items = 1000
+    schedule = HotspotSchedule(phases=(
+        HotspotPhase(start_ms=1000.0, end_ms=2000.0,
+                     center=0.8, width=0.05, weight=0.9),))
+    now = {"t": 0.0}
+    chooser = HotspotChooser(Uniform(items), schedule, items,
+                             clock=lambda: now["t"])
+    rng = RandomStream(11)
+    lo, hi = int(items * 0.8) - 25, int(items * 0.8) + 25
+
+    def hot_fraction(n=600):
+        hits = sum(1 for _ in range(n)
+                   if lo <= chooser.next_index(rng) < hi)
+        return hits / n
+
+    now["t"] = 500.0         # before the phase: ~5% lands in the slice
+    assert hot_fraction() < 0.2
+    now["t"] = 1500.0        # inside: ~90% (+ uniform spillover)
+    assert hot_fraction() > 0.7
+    now["t"] = 2500.0        # after: back to uniform
+    assert hot_fraction() < 0.2
+
+
+def test_hotspot_chooser_draws_stay_in_range():
+    items = 50
+    schedule = HotspotSchedule(phases=(
+        HotspotPhase(start_ms=0.0, end_ms=1.0, center=1.0, width=0.2),))
+    chooser = HotspotChooser(Uniform(items), schedule, items,
+                             clock=lambda: 0.5)
+    rng = RandomStream(3)
+    for _ in range(200):
+        assert 0 <= chooser.next_index(rng) < items
+
+
+# -- mix schedules -----------------------------------------------------------
+
+
+def test_mix_schedule_flips_at_phase_boundary():
+    mix = MixSchedule([
+        (0.0, {"update": 0.8, "index_read": 0.2}),
+        (1000.0, {"update": 0.1, "index_read": 0.9}),
+    ])
+    assert mix.update_fraction_at(0.0) == pytest.approx(0.8)
+    assert mix.update_fraction_at(999.9) == pytest.approx(0.8)
+    assert mix.update_fraction_at(1000.0) == pytest.approx(0.1)
+    rng = RandomStream(5)
+    early = sum(1 for _ in range(500) if mix.draw(500.0, rng) == "update")
+    late = sum(1 for _ in range(500) if mix.draw(1500.0, rng) == "update")
+    assert early > 350 and late < 100
+
+
+def test_mix_schedule_rejects_bad_input():
+    with pytest.raises(ValueError):
+        MixSchedule([])
+    with pytest.raises(ValueError):
+        MixSchedule([(0.0, {"update": 0.0})])
+    with pytest.raises(ValueError):
+        MixSchedule([(0.0, {"update": -1.0, "read": 2.0})])
