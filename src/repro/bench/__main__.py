@@ -5,6 +5,7 @@ Regenerates the paper's tables and figures without pytest:
     python -m repro.bench --list
     python -m repro.bench figure7 figure11
     python -m repro.bench all --scale full --out results.txt
+    python -m repro.bench profile --json PROFILE_pr10.json
 """
 
 from __future__ import annotations
@@ -103,7 +104,7 @@ def _run_drain_ablation() -> str:
 
 def _run_perf() -> str:
     """Wall-clock perf baseline (see :mod:`repro.bench.perf`); honours
-    REPRO_BENCH_QUICK / REPRO_BENCH_JSON and writes BENCH_pr8.json."""
+    REPRO_BENCH_QUICK / REPRO_BENCH_JSON and writes BENCH_pr10.json."""
     from repro.bench.perf import render_perf_report, run_perf_baseline
     return render_perf_report(run_perf_baseline())
 
@@ -133,7 +134,30 @@ RUNNERS: Dict[str, Callable[[], str]] = {
 }
 
 
+def _profile_main(argv: List[str]) -> int:
+    """``python -m repro.bench profile`` — cProfile the fixed mixed
+    workload and write the top-N hotspot JSON artifact (see
+    :mod:`repro.bench.profiling`)."""
+    from repro.bench.profiling import (DEFAULT_OUTPUT, DEFAULT_TOP_N,
+                                       render_profile, run_profile)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench profile",
+        description="Profile the fixed mixed workload; emit hotspot JSON.")
+    parser.add_argument("--json", type=str, default=DEFAULT_OUTPUT,
+                        help=f"artifact path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP_N,
+                        help="how many hotspots to keep, by cumulative time")
+    args = parser.parse_args(argv)
+    report = run_profile(args.json, args.top)
+    print(render_profile(report))
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
@@ -153,6 +177,8 @@ def main(argv: List[str] = None) -> int:
         for name in RUNNERS:
             print(f"  {name}")
         print("  all")
+        print("  profile   (cProfile hotspot artifact; "
+              "see 'profile --help')")
         return 0
 
     os.environ["REPRO_BENCH_SCALE"] = args.scale

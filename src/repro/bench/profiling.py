@@ -1,0 +1,113 @@
+"""Profiled hotspot artifact: ``python -m repro.bench profile``.
+
+Runs one fixed, deterministic mixed YCSB workload (sync-full scheme,
+8 closed-loop threads — the same shape as the ``kernel`` floor in
+:mod:`repro.bench.perf`) under :mod:`cProfile` and emits the top-N
+functions by cumulative time as a JSON artifact.  CI uploads it next
+to ``BENCH_pr10.json`` so a perf regression comes with the profile
+that explains it: diff two PRs' artifacts and the function that grew
+is right there, no local reprofiling session needed.
+
+The simulated run is deterministic (fixed seeds, virtual clock), so
+between two profiles of the same code the *work* is identical and
+every delta is attributable to the code, not the workload.  Wall
+seconds still vary with host speed — compare shapes and relative
+shares, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.harness import Experiment, ExperimentConfig
+from repro.ycsb.workload import OpType
+
+__all__ = ["run_profile", "render_profile", "DEFAULT_TOP_N",
+           "DEFAULT_OUTPUT"]
+
+DEFAULT_TOP_N = 30
+DEFAULT_OUTPUT = "PROFILE_pr10.json"
+
+# One fixed shape, quick-sized: big enough that the steady-state hot
+# paths dominate setup, small enough for a CI smoke job.
+_RECORD_COUNT = 1200
+_THREADS = 8
+_DURATION_MS = 600.0
+
+
+def run_profile(out_path: Optional[str] = DEFAULT_OUTPUT,
+                top_n: int = DEFAULT_TOP_N) -> Dict[str, object]:
+    """Profile the fixed mixed workload; write and return the report."""
+    exp = Experiment(ExperimentConfig(
+        record_count=_RECORD_COUNT,
+        title_cardinality=_RECORD_COUNT // 5,
+        scheme_label="full"))
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = exp.run_closed({OpType.UPDATE: 0.5, OpType.INDEX_READ: 0.5},
+                            num_threads=_THREADS,
+                            duration_ms=_DURATION_MS,
+                            warmup_ms=_DURATION_MS / 5)
+    profiler.disable()
+    wall_s = time.perf_counter() - start
+    overall = result.overall()
+
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, object]] = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in entries:
+        if len(rows) >= top_n:
+            break
+        # Trim absolute prefixes so artifacts diff cleanly across hosts.
+        short = filename
+        for marker in ("/src/", "/lib/"):
+            at = filename.rfind(marker)
+            if at != -1:
+                short = filename[at + len(marker):]
+                break
+        rows.append({
+            "function": f"{short}:{line}({name})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+
+    report: Dict[str, object] = {
+        "bench": "pr10-profile",
+        "config": {"scheme": "full", "record_count": _RECORD_COUNT,
+                   "threads": _THREADS, "duration_ms": _DURATION_MS,
+                   "mix": {"UPDATE": 0.5, "INDEX_READ": 0.5}},
+        "ops": overall.count,
+        "wall_seconds": round(wall_s, 3),
+        "wall_ops_per_sec": round(overall.count / wall_s, 1)
+        if wall_s else 0.0,
+        "top_n": top_n,
+        "hotspots": rows,
+    }
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report["output_path"] = out_path
+    return report
+
+
+def render_profile(report: Dict[str, object],
+                   show: int = 12) -> str:
+    """Human-readable view of the artifact's head."""
+    lines = [f"profiled {report['ops']} ops in "
+             f"{report['wall_seconds']:.2f}s wall "
+             f"({report['wall_ops_per_sec']:.0f} ops/s) -> "
+             f"{report.get('output_path', '<unwritten>')}",
+             f"  {'cumtime':>9} {'tottime':>9} {'ncalls':>10}  function"]
+    for row in report["hotspots"][:show]:
+        lines.append(f"  {row['cumtime_s']:>9.3f} {row['tottime_s']:>9.3f} "
+                     f"{row['ncalls']:>10}  {row['function']}")
+    return "\n".join(lines)

@@ -57,14 +57,18 @@ class MiniCluster:
                  placement: Optional["PlacementConfig"] = None,
                  replication: Optional[ReplicationConfig] = None,
                  scan_engine: str = "remix",
-                 learned_index: bool = True):
+                 learned_index: bool = True,
+                 memtable_map: str = "arraymap"):
         if scan_engine not in ("remix", "heap"):
             raise ValueError(f"unknown scan engine {scan_engine!r}")
+        if memtable_map not in ("arraymap", "skiplist"):
+            raise ValueError(f"unknown memtable map {memtable_map!r}")
         # Default range-scan engine and block-index flavour for every
         # table this cluster creates (DESIGN.md §13); per-table override
         # via create_table.
         self.scan_engine = scan_engine
         self.learned_index = learned_index
+        self.memtable_map = memtable_map
         self.sim = Simulator()
         self.replication = replication or ReplicationConfig()
         self.model = model or LatencyModel()
@@ -195,11 +199,14 @@ class MiniCluster:
                      scan_engine: Optional[str] = None,
                      learned_index: Optional[bool] = None,
                      compaction_policy: str = "size_tiered",
+                     memtable_map: Optional[str] = None,
                      ) -> TableDescriptor:
         from repro.lsm.policy import POLICY_LABELS
         if compaction_policy not in POLICY_LABELS:
             raise ValueError(
                 f"unknown compaction policy {compaction_policy!r}")
+        if memtable_map not in (None, "arraymap", "skiplist"):
+            raise ValueError(f"unknown memtable map {memtable_map!r}")
         descriptor = TableDescriptor(
             name, TableKind.BASE, max_versions=max_versions,
             flush_threshold_bytes=flush_threshold_bytes,
@@ -207,7 +214,8 @@ class MiniCluster:
             scan_engine=scan_engine or self.scan_engine,
             learned_index=(self.learned_index if learned_index is None
                            else learned_index),
-            compaction_policy=compaction_policy)
+            compaction_policy=compaction_policy,
+            memtable_map=memtable_map or self.memtable_map)
         self.master.create_table(descriptor, split_keys=split_keys)
         return descriptor
 
@@ -258,7 +266,8 @@ class MiniCluster:
             prefix_compression=prefix_compression,
             scan_engine=base.scan_engine,
             learned_index=base.learned_index,
-            compaction_policy=compaction_policy or base.compaction_policy)
+            compaction_policy=compaction_policy or base.compaction_policy,
+            memtable_map=base.memtable_map)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.ACTIVE)
         if backfill:
@@ -294,7 +303,8 @@ class MiniCluster:
             prefix_compression=prefix_compression,
             scan_engine=base.scan_engine,
             learned_index=base.learned_index,
-            compaction_policy=compaction_policy or base.compaction_policy)
+            compaction_policy=compaction_policy or base.compaction_policy,
+            memtable_map=base.memtable_map)
         self.master.create_table(index_table, split_keys=split_keys)
         stamped = self._attach_index_descriptor(index, IndexState.BUILDING)
         return self.ddl.submit_create(stamped)

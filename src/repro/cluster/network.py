@@ -88,6 +88,9 @@ class Network:
         self.metrics = metrics or MetricsRegistry()
         self.rpc_count = 0
         self.failed_rpcs = 0
+        # target name -> rpc_ms{server=} histogram, cached so the
+        # per-RPC hot path skips registry resolution.
+        self._rpc_ms = {}
 
     def call(self, target: Any,
              handler_factory: Callable[[], Generator],
@@ -104,8 +107,10 @@ class Network:
         """
         self.rpc_count += 1
         start = self.sim.now()
-        link_extra = self.faults.link_extra_ms(source, target.name)
-        if self.faults.should_fail():
+        faults = self.faults
+        link_extra = (faults.link_extra_ms(source, target.name)
+                      if faults._link_extra_ms else 0.0)
+        if faults.should_fail():
             self.failed_rpcs += 1
             self.metrics.counter("rpc_failures", server=target.name).inc()
             # The request is lost in flight: the caller still waited.
@@ -124,6 +129,9 @@ class Network:
             self.metrics.counter("rpc_failures", server=target.name).inc()
             raise ServerDownError(f"server {target.name} died mid-request")
         yield Timeout(self.model.rpc_delay(self._rng) + link_extra)
-        self.metrics.histogram("rpc_ms", server=target.name).observe(
-            self.sim.now() - start)
+        histogram = self._rpc_ms.get(target.name)
+        if histogram is None:
+            histogram = self.metrics.histogram("rpc_ms", server=target.name)
+            self._rpc_ms[target.name] = histogram
+        histogram.observe(self.sim.now() - start)
         return result

@@ -22,7 +22,7 @@ from repro.lsm.policy import compaction_policy_from_label
 from repro.lsm.tree import LSMConfig, LSMTree, ReadStats
 from repro.lsm.types import Cell, KeyRange, cell_size
 from repro.cluster.table import TableDescriptor
-from repro.sim.kernel import Future, Simulator
+from repro.sim.kernel import RESOLVED_NONE, Future, Simulator
 
 __all__ = ["Region", "RowLocks", "compose_cell_key", "split_cell_key"]
 
@@ -55,13 +55,12 @@ class RowLocks:
         self._queues: Dict[bytes, List[Future]] = {}
 
     def acquire(self, row: bytes) -> Future:
-        future = Future()
         queue = self._queues.get(row)
         if queue is None:
             self._queues[row] = []
-            future.set_result(None)
-        else:
-            queue.append(future)
+            return RESOLVED_NONE
+        future = Future()
+        queue.append(future)
         return future
 
     def release(self, row: bytes) -> None:
@@ -91,7 +90,8 @@ class Region:
             prefix_compression=table.prefix_compression,
             remix_enabled=table.scan_engine == "remix",
             learned_index=table.learned_index,
-            compaction=compaction_policy_from_label(table.compaction_policy))
+            compaction=compaction_policy_from_label(table.compaction_policy),
+            memtable_map=table.memtable_map)
         self.tree = LSMTree(name=name, config=config, cache=cache, seed=seed)
         self.locks = RowLocks()
         self.flushing = False

@@ -45,6 +45,9 @@ class TableDescriptor:
     # ("size_tiered" | "leveled"); index tables under lazy schemes pair
     # naturally with "leveled" (every round major → dead-entry purge).
     compaction_policy: str = "size_tiered"
+    # Ordered-map substrate under the memtable ("arraymap" | "skiplist");
+    # behaviourally identical, arraymap is the fast default (DESIGN.md §16).
+    memtable_map: str = "arraymap"
     # Index descriptors attached to this (base) table — the catalog keeps
     # a copy in the table descriptor, as BigInsights does (§7).
     indexes: Dict[str, "IndexDescriptor"] = dataclasses.field(default_factory=dict)

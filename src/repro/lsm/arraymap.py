@@ -1,0 +1,92 @@
+"""An array-backed ordered map: the fast memtable substrate.
+
+Operation-for-operation equivalent to :class:`repro.lsm.skiplist.SkipList`
+(the Hypothesis property test in ``tests/test_arraymap_equivalence.py``
+pins this), but built on two parallel Python lists and :mod:`bisect`
+instead of a pointer-chased tower of nodes.  The trade LearnedKV makes
+for its in-memory level applies here unchanged: a memtable holds at most
+a few thousand keys before it is sealed and flushed, so an O(n) C-level
+``list.insert`` memmove beats O(log n) *interpreted* pointer hops — and
+``get``/seek become a single C ``bisect`` instead of a per-level scan.
+
+``seed`` is accepted for drop-in compatibility with ``SkipList`` (whose
+seed only shapes its internal tower, never observable behaviour).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["ArrayMap"]
+
+
+class ArrayMap:
+    """Ordered map over mutually comparable keys (we use ``bytes``)."""
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, seed: int = 0):
+        self._keys: List[Any] = []
+        self._values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Upsert."""
+        keys = self._keys
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            self._values[i] = value
+        else:
+            keys.insert(i, key)
+            self._values.insert(i, value)
+
+    def obtain(self, key: Any) -> List[Any]:
+        """The list stored under ``key``, inserting a fresh empty list on
+        miss — one search where a get-then-insert pair would pay two.
+        The memtable's per-key version lists ride on this."""
+        keys = self._keys
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return self._values[i]
+        value: List[Any] = []
+        keys.insert(i, key)
+        self._values.insert(i, value)
+        return value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        keys = self._keys
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return self._values[i]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        keys = self._keys
+        i = bisect_left(keys, key)
+        return i < len(keys) and keys[i] == key
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        keys = self._keys
+        values = self._values
+        i = 0
+        while i < len(keys):
+            yield keys[i], values[i]
+            i += 1
+
+    def items_from(self, start: Any) -> Iterator[Tuple[Any, Any]]:
+        """Ordered iteration over keys ``>= start``."""
+        keys = self._keys
+        values = self._values
+        i = bisect_left(keys, start)
+        while i < len(keys):
+            yield keys[i], values[i]
+            i += 1
+
+    def first_key(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def last_key(self) -> Any:
+        return self._keys[-1] if self._keys else None

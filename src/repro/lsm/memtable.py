@@ -11,17 +11,27 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ImmutableError
+from repro.lsm.arraymap import ArrayMap
 from repro.lsm.skiplist import SkipList
 from repro.lsm.types import Cell, KeyRange, cell_size
 
 __all__ = ["MemTable"]
 
+# Ordered-map substrates: operation-for-operation equivalent (pinned by
+# tests/test_arraymap_equivalence.py); "arraymap" is the fast default
+# (DESIGN.md §16).
+_MAP_IMPLS = {"arraymap": ArrayMap, "skiplist": SkipList}
+
 
 class MemTable:
     """Multi-version ordered buffer keyed by byte keys."""
 
-    def __init__(self, seed: int = 0):
-        self._map = SkipList(seed=seed)
+    def __init__(self, seed: int = 0, map_impl: str = "arraymap"):
+        try:
+            impl = _MAP_IMPLS[map_impl]
+        except KeyError:
+            raise ValueError(f"unknown memtable map: {map_impl!r}") from None
+        self._map = impl(seed=seed)
         self._sealed = False
         self._bytes = 0
         self._cells = 0
@@ -54,18 +64,27 @@ class MemTable:
         for a given key a value with a more recent write wins at equal ts."""
         if self._sealed:
             raise ImmutableError("memtable is sealed")
-        versions: Optional[List[Cell]] = self._map.get(cell.key)
-        if versions is None:
-            versions = []
-            self._map.insert(cell.key, versions)
+        versions: List[Cell] = self._map.obtain(cell.key)
+        new_tomb = cell.value is None
         for i, existing in enumerate(versions):
-            if existing.ts == cell.ts and existing.is_tombstone == cell.is_tombstone:
+            if existing.ts == cell.ts and (existing.value is None) == new_tomb:
                 self._bytes += cell_size(cell) - cell_size(existing)
                 versions[i] = cell
                 return
-        versions.append(cell)
-        versions.sort(key=lambda c: -c.ts)
-        self._bytes += cell_size(cell)
+        # Positional insert preserving newest-first order.  Equivalent to
+        # the old append + stable sort by -ts: the new cell lands after
+        # every existing version with ts >= cell.ts.  The common case is a
+        # fresh newest timestamp, so scan from the front.
+        ts = cell.ts
+        index = 0
+        for existing in versions:
+            if existing.ts < ts:
+                break
+            index += 1
+        versions.insert(index, cell)
+        # cell_size inlined: this is once per write on the hot path.
+        value = cell.value
+        self._bytes += len(cell.key) + (len(value) if value is not None else 0) + 24
         self._cells += 1
 
     # -- reads ----------------------------------------------------------------
@@ -78,15 +97,18 @@ class MemTable:
         if not versions:
             return []
         if max_ts is None:
-            return list(versions)
+            return versions   # callers read, never mutate (tree._collect_cells)
         return [c for c in versions if c.ts <= max_ts]
 
     def scan(self, key_range: KeyRange) -> Iterator[Tuple[bytes, List[Cell]]]:
         """Ordered iteration of ``(key, versions-newest-first)`` in range."""
+        end = key_range.end
         for key, versions in self._map.items_from(key_range.start):
-            if key_range.end is not None and key >= key_range.end:
+            if end is not None and key >= end:
                 return
-            yield key, list(versions)
+            # The version list is yielded directly — consumers
+            # (merge_key_streams, _scan_remix) copy before combining.
+            yield key, versions
 
     def all_cells(self) -> Iterator[Cell]:
         """Every cell in key order then newest-first — the flush stream."""

@@ -22,6 +22,10 @@ __all__ = ["SkipList"]
 _MAX_LEVEL = 16
 _P = 0.25
 
+# Hoisted miss sentinel: __contains__ used to allocate a fresh object()
+# per call, one garbage allocation per membership probe on the read path.
+_MISSING = object()
+
 
 class _Node:
     __slots__ = ("key", "value", "forward")
@@ -40,6 +44,11 @@ class SkipList:
         self._level = 1
         self._size = 0
         self._rng = random.Random(seed)
+        # Preallocated predecessor array reused by every _find_predecessors
+        # call (single-threaded engine; consumed before the next call).
+        # Slots at or above the current level always hold _head — insert
+        # maintains that invariant when it raises the level.
+        self._update: List[_Node] = [self._head] * _MAX_LEVEL
 
     def __len__(self) -> int:
         return self._size
@@ -51,8 +60,12 @@ class SkipList:
         return level
 
     def _find_predecessors(self, key: Any) -> List[_Node]:
-        """Per level, the rightmost node with ``node.key < key``."""
-        update: List[_Node] = [self._head] * _MAX_LEVEL
+        """Per level, the rightmost node with ``node.key < key``.
+
+        Returns the instance-owned preallocated array — valid until the
+        next call; callers consume it immediately.
+        """
+        update = self._update
         node = self._head
         for level in range(self._level - 1, -1, -1):
             nxt = node.forward[level]
@@ -70,12 +83,40 @@ class SkipList:
             return
         level = self._random_level()
         if level > self._level:
+            # Levels in [self._level, level) were not written by
+            # _find_predecessors; reassert the _head invariant for them.
+            head = self._head
+            for i in range(self._level, level):
+                update[i] = head
             self._level = level
         node = _Node(key, value, level)
         for i in range(level):
             node.forward[i] = update[i].forward[i]
             update[i].forward[i] = node
         self._size += 1
+
+    def obtain(self, key: Any) -> List[Any]:
+        """The list stored under ``key``, inserting a fresh empty list on
+        miss — one predecessor search where get-then-insert pays two.
+        Draws from the height RNG exactly when ``insert`` would (only on
+        an actual miss), so structure stays reproducible either way."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        value: List[Any] = []
+        level = self._random_level()
+        if level > self._level:
+            head = self._head
+            for i in range(self._level, level):
+                update[i] = head
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+        return value
 
     def get(self, key: Any, default: Any = None) -> Any:
         node = self._head
@@ -90,8 +131,7 @@ class SkipList:
         return default
 
     def __contains__(self, key: Any) -> bool:
-        sentinel = object()
-        return self.get(key, sentinel) is not sentinel
+        return self.get(key, _MISSING) is not _MISSING
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         node = self._head.forward[0]

@@ -56,6 +56,10 @@ class LSMConfig:
     learned_index: bool = True
     learned_epsilon: int = DEFAULT_EPSILON
     compaction: CompactionPolicy = dataclasses.field(default_factory=CompactionPolicy)
+    # Ordered-map substrate under the memtable: "arraymap" (bisect over
+    # parallel arrays — the fast default) or "skiplist" (the classic
+    # pointer tower).  Operation-for-operation equivalent (DESIGN.md §16).
+    memtable_map: str = "arraymap"
 
 
 @dataclasses.dataclass
@@ -90,7 +94,8 @@ class LSMTree:
         self.config = config or LSMConfig()
         self.cache = cache
         self._seed = seed
-        self._memtable = MemTable(seed=seed)
+        self._memtable = MemTable(seed=seed,
+                                  map_impl=self.config.memtable_map)
         self._flushing: List[FlushHandle] = []
         self._sstables: List[SSTable] = []   # newest first
         self._compactions_done = 0
@@ -229,7 +234,8 @@ class LSMTree:
         sealed.seal()
         handle = FlushHandle(next(_flush_ids), sealed, self.last_applied_seqno)
         self._flushing.append(handle)
-        self._memtable = MemTable(seed=self._seed + handle.flush_id)
+        self._memtable = MemTable(seed=self._seed + handle.flush_id,
+                                  map_impl=self.config.memtable_map)
         return handle
 
     def complete_flush(self, handle: FlushHandle) -> SSTable:
@@ -477,30 +483,35 @@ class LSMTree:
         charged = set()   # (table_id, block_id) pairs already accounted
         out: List[Cell] = []
 
+        resolve = self._resolve_at_cursor
         while True:
-            next_key: Optional[bytes] = None
-            if vi < vend:
-                next_key = keys[vi]
+            view_key = keys[vi] if vi < vend else None
+            next_key = view_key
             for head in heads:
-                if next_key is None or head[0] < next_key:
-                    next_key = head[0]
+                key = head[0]
+                if next_key is None or key < next_key:
+                    next_key = key
             if next_key is None:
                 break
 
-            mem_cells: List[Cell] = []
-            for head in heads:
-                if head[0] == next_key:
-                    mem_cells.extend(head[1])
-            pointers = entries[vi] if vi < vend and keys[vi] == next_key else ()
+            at_view = view_key == next_key and view_key is not None
+            if heads:
+                mem_cells: List[Cell] = []
+                for head in heads:
+                    if head[0] == next_key:
+                        mem_cells.extend(head[1])
+            else:
+                mem_cells = []
+            pointers = entries[vi] if at_view else ()
 
-            visible = self._resolve_at_cursor(mem_cells, pointers, tables,
-                                              max_ts, stats, charged)
+            visible = resolve(mem_cells, pointers, tables,
+                              max_ts, stats, charged)
             if visible is not None:
                 out.append(visible)
                 if limit is not None and len(out) >= limit:
                     break
 
-            if vi < vend and keys[vi] == next_key:
+            if at_view:
                 vi += 1
             i = 0
             while i < len(heads):
@@ -527,47 +538,46 @@ class LSMTree:
         everything at or below its ts, a value wins outright.  Memtable
         cells outrank pointers on full ties (same ts, same kind), matching
         the heap path's stream ordering; either way the bytes agree, since
-        equal-ts duplicates are idempotent re-deliveries by design."""
-        if len(mem_cells) > 1:
-            # Memtable version lists sort by ts only (equal-ts value/tomb
-            # keep insertion order) and concatenating several memtables
-            # breaks ts order entirely; the walk below needs rank order.
-            mem_cells = sorted(
-                mem_cells, key=lambda c: (-c.ts, 0 if c.is_tombstone else 1))
-        mi = pi = 0
-        nm, np_ = len(mem_cells), len(pointers)
-        while mi < nm or pi < np_:
-            if mi < nm:
-                cell = mem_cells[mi]
-                mem_rank = (-cell.ts, 0 if cell.is_tombstone else 1)
-            else:
-                cell = None
-                mem_rank = None
-            if pi < np_:
-                pointer = pointers[pi]
-                ptr_rank = (-pointer[0], 0 if pointer[1] else 1)
-            else:
-                pointer = None
-                ptr_rank = None
-            take_mem = ptr_rank is None or (mem_rank is not None
-                                            and mem_rank <= ptr_rank)
-            if take_mem:
-                mi += 1
-                if max_ts is not None and cell.ts > max_ts:
-                    continue
-                return None if cell.is_tombstone else cell
-            pi += 1
-            ts, tomb, table_id, block_id, slot = pointer
+        equal-ts duplicates are idempotent re-deliveries by design.
+
+        The first admissible item in merged rank order is simply the
+        minimum-rank admissible item, so no sort or merge walk is needed:
+        one pass picks the best admissible memtable cell (version lists
+        sort by ts only and concatenation across memtables isn't ordered
+        at all, so every candidate is inspected), the first admissible
+        pointer is best on the pointer side (pointers ARE rank-ordered),
+        and a single comparison decides between them."""
+        best_cell: Optional[Cell] = None
+        best_ts = 0
+        best_tomb = False
+        for cell in mem_cells:
+            ts = cell.ts
             if max_ts is not None and ts > max_ts:
                 continue
+            tomb = cell.value is None
+            if (best_cell is None or ts > best_ts
+                    or (ts == best_ts and tomb and not best_tomb)):
+                best_cell, best_ts, best_tomb = cell, ts, tomb
+        for pointer in pointers:
+            ts = pointer[0]
+            if max_ts is not None and ts > max_ts:
+                continue
+            tomb = pointer[1]
+            if best_cell is not None and (
+                    best_ts > ts
+                    or (best_ts == ts and (best_tomb or not tomb))):
+                break   # memtable wins (including full ties)
             if tomb:
                 return None   # skip metadata: masked key, zero block reads
+            _ts, _tomb, table_id, block_id, slot = pointer
             sstable = tables[table_id]
             if (table_id, block_id) not in charged:
                 charged.add((table_id, block_id))
                 self._charge_block(sstable, block_id, stats)
             return sstable.cell_at(block_id, slot)
-        return None
+        if best_cell is None or best_tomb:
+            return None
+        return best_cell
 
     # ----------------------------------------------------------------- stats
 

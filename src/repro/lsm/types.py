@@ -21,7 +21,7 @@ __all__ = ["Cell", "KeyRange", "DELTA_MS", "cell_size"]
 DELTA_MS = 1
 
 
-@dataclasses.dataclass(frozen=True, order=True)
+@dataclasses.dataclass(frozen=True, order=True, slots=True)
 class Cell:
     """One version of one key.  ``value is None`` marks a tombstone.
 
@@ -51,7 +51,7 @@ def cell_size(cell: Cell) -> int:
     return len(cell.key) + (len(cell.value) if cell.value is not None else 0) + 24
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class KeyRange:
     """Half-open byte-key interval ``[start, end)``.
 

@@ -82,7 +82,12 @@ class WriteAheadLog:
     def _append_record(self, record: WalRecord) -> None:
         self._regions.setdefault(record.region_name, []).append(record)
         self._count += 1
-        self._bytes += record.approximate_bytes
+        # Size sum inlined (no genexpr frame): append is once per write.
+        total = 0
+        for c in record.cells:
+            value = c.value
+            total += len(c.key) + (len(value) if value else 0) + 32
+        self._bytes += total
 
     def append(self, region_name: str, table: str, cells: Tuple[Cell, ...],
                indexed: bool = False) -> WalRecord:

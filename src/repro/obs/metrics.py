@@ -132,7 +132,8 @@ class Histogram(_Metric):
         self.max = 0.0
 
     def observe(self, value: float) -> None:
-        value = float(value)
+        if value.__class__ is not float:
+            value = float(value)
         if self.count == 0:
             self.min = self.max = value
         else:
@@ -207,9 +208,22 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, Tuple], _Metric] = {}
+        # Raw-kwargs memo: call sites that re-resolve (name, labels) per
+        # operation skip _label_key's sort+str entirely after the first
+        # hit.  Keyed on the unsorted items tuple (order-sensitive — at
+        # worst a few extra entries per metric) plus cls, so kind
+        # mismatches still fall through to the checked slow path.
+        self._raw_cache: Dict[Tuple, _Metric] = {}
 
     def _resolve(self, cls, name: str, labels: Dict[str, Any],
                  **kwargs) -> _Metric:
+        try:
+            raw = (cls, name, tuple(labels.items()))
+            cached = self._raw_cache.get(raw)
+            if cached is not None:
+                return cached
+        except TypeError:            # unhashable label value
+            raw = None
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -219,6 +233,8 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r}{_render_labels(key[1])} already registered "
                 f"as {type(metric).__name__}, requested {cls.__name__}")
+        if raw is not None:
+            self._raw_cache[raw] = metric
         return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:

@@ -16,6 +16,16 @@ built on top of it.
 
 Simulated time is a ``float`` number of **milliseconds**, matching the
 latency units the paper reports.
+
+Performance model (DESIGN.md §16): every simulated operation is tens of
+heap events, so the per-event constant factor here is the wall-clock
+ceiling on every benchmark in the repo.  The event heap therefore stores
+plain ``(when, seq, fn, args)`` 4-tuples — never a closure allocated per
+``call_at`` — and the drain loops in :meth:`Simulator.run` hoist the
+deadline/crash checks off the per-event path.  Two invariants may never
+change for speed: spawn runs the process's first step eagerly (scheduling
+determinism), and a process waiting on a Future resumes on the *current*
+event when it resolves (exact causality, no same-timestamp ambiguity).
 """
 
 from __future__ import annotations
@@ -25,7 +35,11 @@ from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
 
 from repro.errors import ProcessCrashed, SimulationError
 
-__all__ = ["Future", "Timeout", "Process", "Simulator"]
+__all__ = ["Future", "Timeout", "Process", "Simulator", "RESOLVED_NONE"]
+
+_NO_ARGS: Tuple[Any, ...] = ()
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Timeout:
@@ -36,7 +50,9 @@ class Timeout:
     def __init__(self, delay: float):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        self.delay = float(delay)
+        # Always stored as float so downstream arithmetic (and any number
+        # that reaches a JSON report) never flips int/float representation.
+        self.delay = delay if delay.__class__ is float else float(delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay})"
@@ -51,7 +67,9 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Future"], None]] = []
+        # Lazily allocated: most futures resolve before anyone registers
+        # a callback, so the common case pays no list allocation.
+        self._callbacks: Optional[List[Callable[["Future"], None]]] = None
 
     def done(self) -> bool:
         return self._done
@@ -69,26 +87,49 @@ class Future:
         return self._exception
 
     def set_result(self, value: Any) -> None:
-        self._resolve(value, None)
-
-    def set_exception(self, exc: BaseException) -> None:
-        self._resolve(None, exc)
-
-    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._done:
             raise SimulationError("Future resolved twice")
         self._done = True
         self._value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for callback in callbacks:
+                callback(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError("Future resolved twice")
+        self._done = True
         self._exception = exc
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for callback in callbacks:
+                callback(self)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        if exc is not None:
+            self.set_exception(exc)
+        else:
+            self.set_result(value)
 
     def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
         if self._done:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
+
+
+# Shared pre-resolved Future: queueing primitives hand this out on their
+# uncontended fast paths (slot free, gate open, queue empty) instead of
+# allocating a fresh Future per grant.  Safe to share because a resolved
+# Future is immutable — add_done_callback invokes immediately and stores
+# nothing.
+RESOLVED_NONE = Future()
+RESOLVED_NONE.set_result(None)
 
 
 ProcessGen = Generator[Any, Any, Any]
@@ -103,7 +144,8 @@ class Process:
     :class:`ProcessCrashed` so failures never pass silently.
     """
 
-    __slots__ = ("sim", "name", "future", "_gen", "_waited_on")
+    __slots__ = ("sim", "name", "future", "_gen", "_waited_on",
+                 "_step_fn", "_send")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
         self.sim = sim
@@ -111,6 +153,11 @@ class Process:
         self.future = Future()
         self._gen = gen
         self._waited_on = False
+        # The zero-arg resume bound-method is interned once: timer resumes
+        # are the hottest heap entries and a fresh bound method per
+        # call_at would be one allocation per event.
+        self._step_fn = self._step
+        self._send = gen.send
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.future.done() else "running"
@@ -123,7 +170,7 @@ class Process:
             if exc is not None:
                 item = self._gen.throw(exc)
             else:
-                item = self._gen.send(value)
+                item = self._send(value)
         except StopIteration as stop:
             self.future.set_result(stop.value)
             return
@@ -132,11 +179,28 @@ class Process:
             if not self.future._callbacks and not self._waited_on:
                 self.sim._record_crash(self, error)
             return
-        self._dispatch(item)
+        # Inline dispatch, fast-pathed on the overwhelmingly common
+        # Timeout: push the interned resume method straight onto the heap.
+        cls = item.__class__
+        if cls is Timeout:
+            sim = self.sim
+            sim._seq += 1
+            _heappush(sim._heap,
+                      (sim._now + item.delay, sim._seq,
+                       self._step_fn, _NO_ARGS))
+        elif cls is Future:
+            item.add_done_callback(self._resume_from_future)
+        elif cls is Process:
+            item._waited_on = True
+            item.future.add_done_callback(self._resume_from_future)
+        else:
+            self._dispatch(item)
 
     def _dispatch(self, item: Any) -> None:
+        # Slow path for subclasses and garbage (the fast path in _step
+        # matched on exact type).
         if isinstance(item, Timeout):
-            self.sim.call_later(item.delay, self._step)
+            self.sim.call_later(item.delay, self._step_fn)
         elif isinstance(item, Future):
             item.add_done_callback(self._resume_from_future)
         elif isinstance(item, Process):
@@ -150,7 +214,7 @@ class Process:
         # Resume on the *current* event, not a new heap entry: waking a
         # process the instant its dependency resolves keeps causality exact
         # and avoids same-timestamp ordering ambiguity.
-        exc = future.exception()
+        exc = future._exception
         if exc is not None:
             self._step(exc=exc)
         else:
@@ -158,12 +222,12 @@ class Process:
 
 
 class Simulator:
-    """Event loop: a heap of ``(time, seq, callback)`` entries."""
+    """Event loop: a heap of ``(time, seq, fn, args)`` entries."""
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._seq = 0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Callable[..., None], Tuple]] = []
         self._crashes: List[ProcessCrashed] = []
 
     # -- time -------------------------------------------------------------
@@ -175,20 +239,19 @@ class Simulator:
     # -- scheduling -------------------------------------------------------
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
-        self.call_at(self._now + delay, fn, *args)
+        when = self._now + delay
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self._now})")
+        self._seq += 1
+        _heappush(self._heap, (when, self._seq, fn, args))
 
     def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule in the past ({when} < {self._now})")
         self._seq += 1
-        if args:
-            original = fn
-
-            def fn() -> None:
-                original(*args)
-
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        _heappush(self._heap, (when, self._seq, fn, args))
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start ``gen`` as a process.  Its first step runs *now* (before
@@ -203,23 +266,42 @@ class Simulator:
         """Run the next event.  Returns False when the heap is empty."""
         if not self._heap:
             return False
-        when, _seq, fn = heapq.heappop(self._heap)
+        when, _seq, fn, args = _heappop(self._heap)
         self._now = when
-        fn()
-        self._raise_crashes()
+        fn(*args)
+        if self._crashes:
+            self._raise_crashes()
         return True
 
     def run(self, until: Optional[float] = None) -> None:
         """Drain events; with ``until`` set, stop once simulated time would
-        pass it (and advance the clock exactly to ``until``)."""
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                break
-            self.step()
-        if until is not None and until > self._now:
-            self._now = until
-        self._raise_crashes()
+        pass it (and advance the clock exactly to ``until``).
+
+        Two drain loops so the common ``until is None`` case never
+        branches on the deadline per event; the crash check is a list
+        truthiness test, paid only when a crash was actually recorded.
+        """
+        heap = self._heap
+        pop = _heappop
+        crashes = self._crashes
+        if until is None:
+            while heap:
+                when, _seq, fn, args = pop(heap)
+                self._now = when
+                fn(*args)
+                if crashes:
+                    self._raise_crashes()
+        else:
+            while heap and heap[0][0] <= until:
+                when, _seq, fn, args = pop(heap)
+                self._now = when
+                fn(*args)
+                if crashes:
+                    self._raise_crashes()
+            if until > self._now:
+                self._now = until
+        if crashes:
+            self._raise_crashes()
 
     def run_until_complete(self, waitable: Any) -> Any:
         """Drive the loop until ``waitable`` (Process or Future) resolves."""
@@ -232,7 +314,8 @@ class Simulator:
             # future.result() below — claiming it here keeps the same error
             # from being raised a second time by a later step().
             if future.done() and future._exception is not None:
-                self._crashes = [
+                # In-place so the drain loops' local alias stays valid.
+                self._crashes[:] = [
                     c for c in self._crashes
                     if not (c.process_name == waitable.name
                             and c.cause is future._exception)]
@@ -241,10 +324,18 @@ class Simulator:
         else:
             raise SimulationError(
                 f"run_until_complete expects Process or Future, got {waitable!r}")
-        while not future.done():
-            if not self.step():
+        heap = self._heap
+        pop = _heappop
+        crashes = self._crashes
+        while not future._done:
+            if not heap:
                 raise SimulationError(
                     "event heap drained before waitable resolved (deadlock)")
+            when, _seq, fn, args = pop(heap)
+            self._now = when
+            fn(*args)
+            if crashes:
+                self._raise_crashes()
         return future.result()
 
     def pending_events(self) -> int:
@@ -258,7 +349,9 @@ class Simulator:
     def _raise_crashes(self) -> None:
         if self._crashes:
             crash = self._crashes[0]
-            self._crashes = []
+            # Keep the shared list identity: the drain loops hold a local
+            # reference to it.
+            self._crashes.clear()
             raise crash
 
 

@@ -17,7 +17,7 @@ from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Future, Simulator, Timeout
+from repro.sim.kernel import RESOLVED_NONE, Future, Simulator, Timeout
 
 __all__ = ["Resource", "AsyncQueue", "Gate", "Latch", "use"]
 
@@ -48,11 +48,16 @@ class Resource:
 
     def acquire(self) -> Future:
         """Returns a Future resolved when a slot is granted."""
-        future = Future()
         if self._in_use < self.capacity:
-            self._grant(future)
-        else:
-            self._waiters.append(future)
+            # Uncontended fast path: grant bookkeeping, no Future
+            # allocation (this is once per RPC on every server).
+            self._in_use += 1
+            self.total_acquisitions += 1
+            if self._busy_since is None:
+                self._busy_since = self.sim.now()
+            return RESOLVED_NONE
+        future = Future()
+        self._waiters.append(future)
         return future
 
     def release(self) -> None:
@@ -156,11 +161,10 @@ class AsyncQueue:
         working on the last dequeued item.  The AUQ pairs this with an
         in-flight :class:`Latch` to get a true drain barrier.
         """
-        future = Future()
         if not self._items:
-            future.set_result(None)
-        else:
-            self._empty_waiters.append(future)
+            return RESOLVED_NONE
+        future = Future()
+        self._empty_waiters.append(future)
         return future
 
 
@@ -191,11 +195,10 @@ class Gate:
             waiter.set_result(None)
 
     def wait_open(self) -> Future:
-        future = Future()
         if self._open:
-            future.set_result(None)
-        else:
-            self._waiters.append(future)
+            return RESOLVED_NONE
+        future = Future()
+        self._waiters.append(future)
         return future
 
 
@@ -225,9 +228,8 @@ class Latch:
                 waiter.set_result(None)
 
     def wait_zero(self) -> Future:
-        future = Future()
         if self._count == 0:
-            future.set_result(None)
-        else:
-            self._waiters.append(future)
+            return RESOLVED_NONE
+        future = Future()
+        self._waiters.append(future)
         return future

@@ -126,49 +126,49 @@ class _DriverBase:
         self.issued = 0
         self.failed = 0
 
-    def _execute_op(self, client: Client, op: str, rng: RandomStream,
-                    ) -> Generator[Any, Any, None]:
-        workload = self.workload
-        if op == OpType.UPDATE:
-            if self.batch_size > 1:
-                items = [workload.next_update(rng)
-                         for _ in range(self.batch_size)]
-                yield from client.batch_put(self.table, items)
-            else:
-                row, values = workload.next_update(rng)
-                yield from client.put(self.table, row, values)
-        elif op == OpType.INSERT:
-            if self.batch_size > 1:
-                items = [workload.next_insert(rng)
-                         for _ in range(self.batch_size)]
-                yield from client.batch_put(self.table, items)
-            else:
-                row, values = workload.next_insert(rng)
-                yield from client.put(self.table, row, values)
-        elif op == OpType.INDEX_READ:
-            title = workload.next_title_query(rng)
-            yield from client.get_by_index(workload.title_index_name,
-                                           equals=[title])
-        elif op == OpType.INDEX_RANGE:
-            low, high = workload.next_price_range(rng)
-            yield from client.get_by_index(workload.price_index_name,
-                                           low=low, high=high)
-        elif op == OpType.BASE_READ:
-            row = workload.next_rowkey(rng)
-            yield from client.get(self.table, row)
-        else:
-            raise ValueError(f"unknown op {op!r}")
-
     def _timed_op(self, client: Client, op: str, rng: RandomStream,
                   ) -> Generator[Any, Any, None]:
-        start = self.cluster.sim.now()
+        # Dispatch is inlined rather than delegated through a helper
+        # generator: every op otherwise carries an extra generator frame
+        # down the hottest resume chain in the benchmark.
+        sim = self.cluster.sim
+        start = sim.now()
         self.issued += 1
+        workload = self.workload
         try:
-            yield from self._execute_op(client, op, rng)
+            if op == OpType.UPDATE:
+                if self.batch_size > 1:
+                    items = [workload.next_update(rng)
+                             for _ in range(self.batch_size)]
+                    yield from client.batch_put(self.table, items)
+                else:
+                    row, values = workload.next_update(rng)
+                    yield from client.put(self.table, row, values)
+            elif op == OpType.INSERT:
+                if self.batch_size > 1:
+                    items = [workload.next_insert(rng)
+                             for _ in range(self.batch_size)]
+                    yield from client.batch_put(self.table, items)
+                else:
+                    row, values = workload.next_insert(rng)
+                    yield from client.put(self.table, row, values)
+            elif op == OpType.INDEX_READ:
+                title = workload.next_title_query(rng)
+                yield from client.get_by_index(workload.title_index_name,
+                                               equals=[title])
+            elif op == OpType.INDEX_RANGE:
+                low, high = workload.next_price_range(rng)
+                yield from client.get_by_index(workload.price_index_name,
+                                               low=low, high=high)
+            elif op == OpType.BASE_READ:
+                row = workload.next_rowkey(rng)
+                yield from client.get(self.table, row)
+            else:
+                raise ValueError(f"unknown op {op!r}")
         except Exception:  # noqa: BLE001 - workload survives op failures
             self.failed += 1
             return
-        self.recorder.record(op, self.cluster.sim.now() - start)
+        self.recorder.record(op, sim.now() - start)
 
 
 class ClosedLoopDriver(_DriverBase):

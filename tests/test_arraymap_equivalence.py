@@ -1,0 +1,85 @@
+"""Property test: ArrayMap is operation-for-operation equivalent to
+SkipList (DESIGN.md §16).
+
+The memtable treats its ordered-map substrate as a black box, so the
+swap to the array-backed default is safe exactly as long as every
+observable behaviour matches: upserts, gets (hit and miss), ordered
+iteration, seek iteration, ``obtain`` (the get-or-insert the write
+path rides on), containment and the first/last probes.  Hypothesis
+drives both implementations with one random op sequence and compares
+after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.arraymap import ArrayMap
+from repro.lsm.skiplist import SkipList
+
+# Small alphabet on short keys: maximises collisions, which is where
+# upsert-vs-insert and obtain-hit-vs-miss behaviour can diverge.
+KEYS = st.lists(st.sampled_from([b"a", b"b", b"c"]),
+                min_size=0, max_size=3).map(b"".join)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, st.integers(0, 999)),
+        st.tuples(st.just("obtain"), KEYS, st.integers(0, 999)),
+        st.tuples(st.just("get"), KEYS, st.just(0)),
+        st.tuples(st.just("seek"), KEYS, st.just(0)),
+    ),
+    min_size=0, max_size=60)
+
+
+def _check_equal(amap: ArrayMap, slist: SkipList) -> None:
+    assert len(amap) == len(slist)
+    assert list(amap.items()) == list(slist.items())
+    assert amap.first_key() == slist.first_key()
+    assert amap.last_key() == slist.last_key()
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_arraymap_equivalent_to_skiplist(ops):
+    amap, slist = ArrayMap(seed=7), SkipList(seed=7)
+    for op, key, payload in ops:
+        if op == "insert":
+            amap.insert(key, [payload])
+            slist.insert(key, [payload])
+        elif op == "obtain":
+            # The write path's get-or-insert: both sides must hand back
+            # the same list contents, and mutating the returned list
+            # must be visible through the map (it is held by reference).
+            a_list = amap.obtain(key)
+            s_list = slist.obtain(key)
+            assert a_list == s_list
+            a_list.append(payload)
+            s_list.append(payload)
+            assert amap.get(key) == slist.get(key)
+        elif op == "get":
+            assert amap.get(key) == slist.get(key)
+            assert amap.get(key, "miss") == slist.get(key, "miss")
+            assert (key in amap) == (key in slist)
+        elif op == "seek":
+            assert list(amap.items_from(key)) == list(slist.items_from(key))
+        _check_equal(amap, slist)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(KEYS, min_size=1, max_size=40))
+def test_obtain_is_get_or_insert(keys):
+    """obtain(k) on a miss inserts exactly one empty list; on a hit it
+    returns the existing list without touching the map."""
+    for impl in (ArrayMap, SkipList):
+        mapping = impl(seed=3)
+        for i, key in enumerate(keys):
+            before = len(mapping)
+            existing = mapping.get(key)
+            got = mapping.obtain(key)
+            if existing is None:
+                assert got == []
+                assert len(mapping) == before + 1
+            else:
+                assert got is existing
+                assert len(mapping) == before
+            got.append(i)

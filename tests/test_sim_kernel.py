@@ -243,3 +243,41 @@ def test_event_ordering_is_fifo_at_same_time():
     sim.call_later(1, seen.append, 3)
     sim.run()
     assert seen == [1, 2, 3]
+
+
+def test_call_at_now_during_drain_keeps_seq_fifo_order():
+    """Scheduling at the CURRENT instant from inside a callback must run
+    this same drain pass, after everything already queued for that
+    instant — seq order, not arrival-side-effect order.  Pins the
+    same-timestamp batch drain in Simulator.run()."""
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        # Same-instant reschedule: lands behind 'second' (lower seq).
+        sim.call_at(sim.now(), seen.append, "injected")
+
+    sim.call_at(5.0, first)
+    sim.call_at(5.0, seen.append, "second")
+    sim.call_at(6.0, seen.append, "later")
+    sim.run()
+    assert seen == ["first", "second", "injected", "later"]
+    assert sim.now() == 6.0
+
+
+def test_call_at_now_chain_drains_before_time_advances():
+    """A chain of same-instant reschedules is fully drained before the
+    clock moves to the next timestamp."""
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            sim.call_at(sim.now(), chain, n + 1)
+
+    sim.call_at(2.0, chain, 0)
+    sim.call_at(3.0, seen.append, "next-instant")
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, "next-instant"]
